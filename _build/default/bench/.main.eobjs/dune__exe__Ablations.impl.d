@@ -1,0 +1,1 @@
+bench/ablations.ml: List Printf Qbench Qroute Runs String Topology

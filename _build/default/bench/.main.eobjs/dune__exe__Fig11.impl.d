@@ -1,0 +1,1 @@
+bench/fig11.ml: List Printf Qbench Qroute Qsim Runs String Topology

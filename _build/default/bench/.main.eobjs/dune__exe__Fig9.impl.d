@@ -1,0 +1,1 @@
+bench/fig9.ml: List Printf Qbench Qroute Runs String Topology

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Fig11 Fig9 List Printf Routers Scaling Sys Tables Timing

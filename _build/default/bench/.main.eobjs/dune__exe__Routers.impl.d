@@ -1,0 +1,1 @@
+bench/routers.ml: List Printf Qbench Qroute Runs String Topology

@@ -1,0 +1,1 @@
+bench/runs.ml: List Qbench Qroute

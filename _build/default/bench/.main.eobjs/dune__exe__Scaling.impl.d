@@ -1,0 +1,1 @@
+bench/scaling.ml: List Printf Qbench Qroute Runs String Topology

@@ -1,0 +1,1 @@
+bench/timing.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Printf Qbench Qroute Staged Test Time Toolkit Topology

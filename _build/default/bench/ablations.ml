@@ -1,0 +1,70 @@
+(* Design-choice ablations called out in DESIGN.md:
+   - optimization-aware SWAP decomposition on/off (keeps the cost model);
+   - extended-layer size/weight sweep for the lookahead heuristic. *)
+
+let ablate_decomposition ~seeds () =
+  let coupling = Topology.Devices.montreal in
+  Printf.printf "=== Ablation: optimization-aware SWAP decomposition ===\n";
+  Printf.printf "%-22s %12s %14s %14s\n" "name" "SABRE add" "NASSC add" "NASSC-no-orient";
+  Printf.printf "%s\n" (String.make 68 '-');
+  List.iter
+    (fun (e : Qbench.Suite.entry) ->
+      let circuit = e.build () in
+      let seed_list = Runs.seeds_for ~seeds e in
+      let base =
+        Runs.run_router ~seeds:[ 1 ] ~coupling ~router:Qroute.Pipeline.Full_connectivity
+          circuit
+      in
+      let add router =
+        (Runs.run_router ~seeds:seed_list ~coupling ~router circuit).cx -. base.cx
+      in
+      let sabre = add Qroute.Pipeline.Sabre_router in
+      let nassc = add (Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config) in
+      let no_orient =
+        add
+          (Qroute.Pipeline.Nassc_router
+             { Qroute.Nassc.default_config with orient_swaps = false })
+      in
+      Printf.printf "%-22s %12.1f %14.1f %14.1f\n%!" e.name sabre nassc no_orient)
+    Qbench.Suite.small_suite;
+  print_newline ()
+
+let ablate_lookahead ~seeds () =
+  let coupling = Topology.Devices.montreal in
+  let configs = [ (0, 0.0); (10, 0.5); (20, 0.5); (40, 0.5); (20, 0.0); (20, 1.0) ] in
+  Printf.printf "=== Ablation: extended-layer size |E| and weight W (NASSC added CNOTs) ===\n";
+  Printf.printf "%-22s" "name";
+  List.iter (fun (s, w) -> Printf.printf " |E|=%-2d W=%-3.1f" s w) configs;
+  print_newline ();
+  Printf.printf "%s\n" (String.make (22 + (13 * List.length configs)) '-');
+  let picks =
+    [ "Grover 6-qubits"; "VQE 8-qubits"; "QFT 15-qubits"; "Adder 10-qubits" ]
+  in
+  List.iter
+    (fun name ->
+      let e = Qbench.Suite.find name in
+      let circuit = e.build () in
+      let seed_list = Runs.seeds_for ~seeds e in
+      let base =
+        Runs.run_router ~seeds:[ 1 ] ~coupling ~router:Qroute.Pipeline.Full_connectivity
+          circuit
+      in
+      Printf.printf "%-22s" name;
+      List.iter
+        (fun (ext_size, ext_weight) ->
+          let results =
+            List.map
+              (fun seed ->
+                let params =
+                  { Qroute.Engine.default_params with seed; ext_size; ext_weight }
+                in
+                Qroute.Pipeline.transpile ~params
+                  ~router:(Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config)
+                  coupling circuit)
+              seed_list
+          in
+          Printf.printf " %12.1f" ((Runs.average_results results).cx -. base.cx))
+        configs;
+      Printf.printf "\n%!")
+    picks;
+  print_newline ()

@@ -1,0 +1,78 @@
+(* Figure 11: the four routing algorithms under the montreal noise model.
+   (a) additional CNOT count, (b) success rate (Monte-Carlo, 8192 paper
+   shots; default here 2048 for runtime). *)
+
+let routers =
+  [
+    ("SABRE", Qroute.Pipeline.Sabre_router);
+    ("SABRE+HA", Qroute.Pipeline.Sabre_ha);
+    ("NASSC", Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config);
+    ("NASSC+HA", Qroute.Pipeline.Nassc_ha Qroute.Nassc.default_config);
+  ]
+
+let entries () = List.filter (fun e -> e.Qbench.Suite.noise_subset) Qbench.Suite.paper_suite
+
+let cnot_counts ~seeds () =
+  let coupling = Topology.Devices.montreal in
+  let cal = Topology.Calibration.generate coupling in
+  Printf.printf "=== Figure 11a: additional CNOT count on ibmq_montreal noise setup ===\n";
+  Printf.printf "%-18s %10s %10s %10s %10s\n" "name" "SABRE" "SABRE+HA" "NASSC" "NASSC+HA";
+  Printf.printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun (e : Qbench.Suite.entry) ->
+      let circuit = e.build () in
+      let seed_list = Runs.seeds_for ~seeds e in
+      let base =
+        Runs.run_router ~seeds:[ 1 ] ~coupling ~router:Qroute.Pipeline.Full_connectivity
+          circuit
+      in
+      let adds =
+        List.map
+          (fun (_, router) ->
+            let results =
+              List.map
+                (fun seed ->
+                  let params = { Qroute.Engine.default_params with seed } in
+                  Qroute.Pipeline.transpile ~params ~calibration:cal ~router coupling
+                    circuit)
+                seed_list
+            in
+            (Runs.average_results results).cx -. base.cx)
+          routers
+      in
+      Printf.printf "%-18s %10.1f %10.1f %10.1f %10.1f\n%!" e.name (List.nth adds 0)
+        (List.nth adds 1) (List.nth adds 2) (List.nth adds 3))
+    (entries ());
+  print_newline ()
+
+let success_rates ~shots () =
+  let coupling = Topology.Devices.montreal in
+  let cal = Topology.Calibration.generate coupling in
+  Printf.printf "=== Figure 11b: success rate under the montreal noise model (%d shots) ===\n"
+    shots;
+  Printf.printf "%-18s %10s %10s %10s %10s   (ESP in parentheses)\n" "name" "SABRE"
+    "SABRE+HA" "NASSC" "NASSC+HA";
+  Printf.printf "%s\n" (String.make 100 '-');
+  List.iter
+    (fun (e : Qbench.Suite.entry) ->
+      let circuit = e.build () in
+      let cells =
+        List.map
+          (fun (_, router) ->
+            let params = { Qroute.Engine.default_params with seed = 1 } in
+            let r = Qroute.Pipeline.transpile ~params ~calibration:cal ~router coupling circuit in
+            match r.final_layout with
+            | None -> (0.0, 0.0)
+            | Some fl ->
+                let o =
+                  Qsim.Success.routed_success ~shots ~cal ~ideal:circuit ~routed:r.circuit
+                    ~final_layout:fl ()
+                in
+                (o.success_rate, o.esp))
+          routers
+      in
+      Printf.printf "%-18s" e.name;
+      List.iter (fun (sr, esp) -> Printf.printf " %6.3f(%.3f)" sr esp) cells;
+      Printf.printf "\n%!")
+    (entries ());
+  print_newline ()

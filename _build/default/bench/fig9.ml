@@ -1,0 +1,80 @@
+(* Figure 9: CNOT reduction of the best of the 8 optimization combinations
+   vs. enabling all three, on three coupling maps. *)
+
+let combos =
+  let b v = v in
+  List.concat_map
+    (fun e2q ->
+      List.concat_map
+        (fun c1 ->
+          List.map
+            (fun c2 ->
+              {
+                Qroute.Nassc.enable_2q = b e2q;
+                enable_commute1 = b c1;
+                enable_commute2 = b c2;
+                orient_swaps = true;
+                scan_limit = 20;
+              })
+            [ false; true ])
+        [ false; true ])
+    [ false; true ]
+
+let combo_name (c : Qroute.Nassc.config) =
+  Printf.sprintf "%c%c%c"
+    (if c.enable_2q then '2' else '-')
+    (if c.enable_commute1 then 'a' else '-')
+    (if c.enable_commute2 then 'b' else '-')
+
+let run ~seeds ~quick () =
+  let maps =
+    [
+      ("ibmq_montreal", Topology.Devices.montreal);
+      ("linear-25", Topology.Devices.linear 25);
+      ("grid-5x5", Topology.Devices.grid 5 5);
+    ]
+  in
+  let entries = if quick then Qbench.Suite.small_suite else Qbench.Suite.paper_suite in
+  List.iter
+    (fun (map_name, coupling) ->
+      Printf.printf "=== Figure 9 (%s): CNOT reduction vs SABRE, best-of-8 combos vs all-enabled ===\n"
+        map_name;
+      Printf.printf "%-22s %10s %12s %12s %8s\n" "name" "SABRE add" "best-of-8" "all-enabled"
+        "best=?";
+      Printf.printf "%s\n" (String.make 72 '-');
+      List.iter
+        (fun (e : Qbench.Suite.entry) ->
+          let circuit = e.build () in
+          let seed_list = Runs.seeds_for ~seeds e in
+          let base =
+            Runs.run_router ~seeds:[ 1 ] ~coupling ~router:Qroute.Pipeline.Full_connectivity
+              circuit
+          in
+          let sabre =
+            Runs.run_router ~seeds:seed_list ~coupling ~router:Qroute.Pipeline.Sabre_router
+              circuit
+          in
+          let sabre_add = sabre.cx -. base.cx in
+          let reductions =
+            List.map
+              (fun cfg ->
+                let r =
+                  Runs.run_router ~seeds:seed_list ~coupling
+                    ~router:(Qroute.Pipeline.Nassc_router cfg) circuit
+                in
+                let add = r.cx -. base.cx in
+                (combo_name cfg, Runs.delta add sabre_add))
+              combos
+          in
+          let best_name, best =
+            List.fold_left
+              (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+              ("", neg_infinity) reductions
+          in
+          let all_enabled = List.assoc "2ab" reductions in
+          Printf.printf "%-22s %10.1f %10.2f%% %11.2f%% %8s\n%!" e.name sabre_add
+            (Runs.pct best) (Runs.pct all_enabled)
+            (if best_name = "2ab" then "yes" else best_name))
+        entries;
+      print_newline ())
+    maps

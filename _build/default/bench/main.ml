@@ -1,0 +1,64 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (Section VI).  See DESIGN.md for the experiment index. *)
+
+let usage () =
+  print_endline
+    "usage: bench/main.exe [--only EXP] [--seeds N] [--shots N] [--full] [--timing]\n\
+     EXP: table1 table2 table3 table4 fig9 fig11a fig11b routers scaling ablate-decomp\n\
+     \     ablate-lookahead all\n\
+     --seeds N   routing seeds per benchmark (default 5; heavy circuits capped at 3)\n\
+     --shots N   Monte-Carlo shots for fig11b (default 2048; paper used 8192)\n\
+     --full      run heavy (RevLib-scale) benchmarks everywhere (default: tables only)\n\
+     --timing    run the Bechamel transpilation-latency micro-benchmarks"
+
+let () =
+  let only = ref "all" in
+  let seeds = ref 5 in
+  let shots = ref 2048 in
+  let full = ref false in
+  let timing = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--only" :: v :: rest ->
+        only := v;
+        parse rest
+    | "--seeds" :: v :: rest ->
+        seeds := int_of_string v;
+        parse rest
+    | "--shots" :: v :: rest ->
+        shots := int_of_string v;
+        parse rest
+    | "--full" :: rest ->
+        full := true;
+        parse rest
+    | "--timing" :: rest ->
+        timing := true;
+        parse rest
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | x :: _ ->
+        Printf.eprintf "unknown argument %s\n" x;
+        usage ();
+        exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !timing then Timing.run ()
+  else begin
+    let seeds = !seeds in
+    let quick_tables = false in
+    let want x = !only = "all" || !only = x in
+    if want "table1" then Tables.table1 ~seeds ~quick:quick_tables ();
+    if want "table2" then Tables.table2 ~seeds ~quick:quick_tables ();
+    if want "table3" then Tables.table3 ~seeds ~quick:quick_tables ();
+    if want "table4" then Tables.table4 ~seeds ~quick:quick_tables ();
+    (* figure 9 runs 8 router configurations per benchmark: restrict to the
+       non-heavy suite unless --full *)
+    if want "fig9" then Fig9.run ~seeds ~quick:(not !full) ();
+    if want "fig11a" then Fig11.cnot_counts ~seeds ();
+    if want "fig11b" then Fig11.success_rates ~shots:!shots ();
+    if want "routers" then Routers.run ~seeds ();
+    if want "scaling" then Scaling.run ~seeds ();
+    if want "ablate-decomp" then Ablations.ablate_decomposition ~seeds ();
+    if want "ablate-lookahead" then Ablations.ablate_lookahead ~seeds ()
+  end

@@ -1,0 +1,59 @@
+(* Shared experiment runner: seed-averaged pipeline results per benchmark,
+   producing the paper's table rows. *)
+
+type averaged = {
+  cx : float;
+  depth : float;
+  time : float;
+  swaps : float;
+}
+
+let average_results rs =
+  let n = float_of_int (List.length rs) in
+  let fold f = List.fold_left (fun acc r -> acc +. f r) 0.0 rs /. n in
+  {
+    cx = fold (fun (r : Qroute.Pipeline.result) -> float_of_int r.cx_total);
+    depth = fold (fun r -> float_of_int r.depth);
+    time = fold (fun r -> r.transpile_time);
+    swaps = fold (fun r -> float_of_int r.n_swaps);
+  }
+
+let run_router ~seeds ~coupling ~router circuit =
+  let results =
+    List.map
+      (fun seed ->
+        let params = { Qroute.Engine.default_params with seed } in
+        Qroute.Pipeline.transpile ~params ~router coupling circuit)
+      seeds
+  in
+  average_results results
+
+type row = {
+  entry : Qbench.Suite.entry;
+  original : averaged;
+  sabre : averaged;
+  nassc : averaged;
+}
+
+let seeds_for ~seeds (entry : Qbench.Suite.entry) =
+  let n = if entry.heavy then min 3 seeds else seeds in
+  List.init n (fun i -> i + 1)
+
+let run_entry ~seeds ~coupling (entry : Qbench.Suite.entry) =
+  let circuit = entry.build () in
+  let seed_list = seeds_for ~seeds entry in
+  let original =
+    run_router ~seeds:[ 1 ] ~coupling ~router:Qroute.Pipeline.Full_connectivity circuit
+  in
+  let sabre = run_router ~seeds:seed_list ~coupling ~router:Qroute.Pipeline.Sabre_router circuit in
+  let nassc =
+    run_router ~seeds:seed_list ~coupling
+      ~router:(Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config)
+      circuit
+  in
+  { entry; original; sabre; nassc }
+
+let pct x = 100.0 *. x
+let delta nassc sabre = if sabre = 0.0 then 0.0 else 1.0 -. (nassc /. sabre)
+
+let geo xs = Qroute.Metrics.geometric_mean xs

@@ -1,0 +1,45 @@
+(* Scaling experiment: NASSC's advantage on growing heavy-hex lattices (the
+   paper motivates heavy-hex as IBM's scaling architecture; this checks the
+   optimization-aware advantage persists as the device grows). *)
+
+let run ~seeds () =
+  Printf.printf "=== Scaling: heavy-hex lattice sizes (VQE-12 and QFT-15 added CNOTs) ===\n";
+  Printf.printf "%-14s %7s | %10s %10s %8s | %10s %10s %8s\n" "device" "qubits" "SABRE"
+    "NASSC" "saving" "SABRE" "NASSC" "saving";
+  Printf.printf "%-14s %7s | %30s | %30s\n" "" "" "VQE 12-qubits" "QFT 15-qubits";
+  Printf.printf "%s\n" (String.make 92 '-');
+  let sizes = [ (3, 4); (4, 4); (4, 5); (5, 6) ] in
+  let vqe = Qbench.Generators.vqe 12 and qft = Qbench.Generators.qft 15 in
+  List.iter
+    (fun (r, c) ->
+      let coupling = Topology.Devices.heavy_hex r c in
+      let n = Topology.Coupling.n_qubits coupling in
+      if n >= 15 then begin
+        let seed_list = List.init seeds (fun i -> i + 1) in
+        let measure circuit =
+          let base =
+            Runs.run_router ~seeds:[ 1 ] ~coupling
+              ~router:Qroute.Pipeline.Full_connectivity circuit
+          in
+          let s =
+            (Runs.run_router ~seeds:seed_list ~coupling ~router:Qroute.Pipeline.Sabre_router
+               circuit)
+              .cx
+            -. base.cx
+          in
+          let nas =
+            (Runs.run_router ~seeds:seed_list ~coupling
+               ~router:(Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config)
+               circuit)
+              .cx
+            -. base.cx
+          in
+          (s, nas, 100.0 *. (1.0 -. (nas /. s)))
+        in
+        let s1, n1, d1 = measure vqe in
+        let s2, n2, d2 = measure qft in
+        Printf.printf "heavy_hex %dx%d %7d | %10.1f %10.1f %7.1f%% | %10.1f %10.1f %7.1f%%\n%!"
+          r c n s1 n1 d1 s2 n2 d2
+      end)
+    sizes;
+  print_newline ()

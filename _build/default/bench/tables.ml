@@ -1,0 +1,79 @@
+(* Tables I-IV: CNOT and depth comparisons on the three coupling maps. *)
+
+let header_cx () =
+  Printf.printf "%-22s %8s | %10s %9s %8s | %10s %9s %8s | %8s %8s %7s\n" "name" "CNOTtot"
+    "SABREtot" "SABREadd" "time(s)" "NASSCtot" "NASSCadd" "time(s)" "dCNOTtot" "dCNOTadd"
+    "t_ratio";
+  Printf.printf "%s\n" (String.make 132 '-')
+
+let row_cx (r : Runs.row) =
+  let cx0 = r.original.cx in
+  let add_s = r.sabre.cx -. cx0 and add_n = r.nassc.cx -. cx0 in
+  let d_tot = Runs.delta r.nassc.cx r.sabre.cx in
+  let d_add = Runs.delta add_n add_s in
+  let t_ratio = if r.sabre.time = 0.0 then 1.0 else r.nassc.time /. r.sabre.time in
+  Printf.printf "%-22s %8.0f | %10.1f %9.1f %8.2f | %10.1f %9.1f %8.2f | %7.2f%% %7.2f%% %7.2f\n%!"
+    r.entry.name cx0 r.sabre.cx add_s r.sabre.time r.nassc.cx add_n r.nassc.time
+    (Runs.pct d_tot) (Runs.pct d_add) t_ratio;
+  (d_tot, d_add, t_ratio)
+
+let footer_cx stats =
+  let d_tots, d_adds, ratios =
+    List.fold_left
+      (fun (a, b, c) (x, y, z) -> (x :: a, y :: b, z :: c))
+      ([], [], []) stats
+  in
+  let avg_ratio = List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios) in
+  Printf.printf "%s\n" (String.make 132 '-');
+  Printf.printf "%-22s geometric means: dCNOT_total = %.2f%%   dCNOT_add = %.2f%%   avg t_ratio = %.2f\n\n"
+    "" (Runs.pct (Runs.geo d_tots)) (Runs.pct (Runs.geo d_adds)) avg_ratio
+
+let cnot_table ~label ~coupling ~seeds entries =
+  Printf.printf "=== %s ===\n" label;
+  header_cx ();
+  let stats =
+    List.map (fun e -> row_cx (Runs.run_entry ~seeds ~coupling e)) entries
+  in
+  footer_cx stats
+
+let depth_table ~label ~coupling ~seeds entries =
+  Printf.printf "=== %s ===\n" label;
+  Printf.printf "%-22s %9s | %9s %9s | %9s %9s | %9s %9s\n" "name" "depth_tot" "SABREtot"
+    "SABREadd" "NASSCtot" "NASSCadd" "d_tot" "d_add";
+  Printf.printf "%s\n" (String.make 104 '-');
+  let stats =
+    List.map
+      (fun e ->
+        let r = Runs.run_entry ~seeds ~coupling e in
+        let d0 = r.original.depth in
+        let add_s = r.sabre.depth -. d0 and add_n = r.nassc.depth -. d0 in
+        let d_tot = Runs.delta r.nassc.depth r.sabre.depth in
+        let d_add = Runs.delta add_n add_s in
+        Printf.printf "%-22s %9.0f | %9.1f %9.1f | %9.1f %9.1f | %8.2f%% %8.2f%%\n%!"
+          r.entry.name d0 r.sabre.depth add_s r.nassc.depth add_n (Runs.pct d_tot)
+          (Runs.pct d_add);
+        (d_tot, d_add))
+      entries
+  in
+  let d_tots = List.map fst stats and d_adds = List.map snd stats in
+  Printf.printf "%s\n" (String.make 104 '-');
+  Printf.printf "%-22s geometric means: ddepth_total = %.2f%%   ddepth_add = %.2f%%\n\n" ""
+    (Runs.pct (Runs.geo d_tots)) (Runs.pct (Runs.geo d_adds))
+
+let entries ~quick = if quick then Qbench.Suite.small_suite else Qbench.Suite.paper_suite
+
+let table1 ~seeds ~quick () =
+  cnot_table ~label:"Table I: additional CNOT gates, ibmq_montreal"
+    ~coupling:Topology.Devices.montreal ~seeds (entries ~quick)
+
+let table2 ~seeds ~quick () =
+  depth_table ~label:"Table II: circuit depth, ibmq_montreal"
+    ~coupling:Topology.Devices.montreal ~seeds (entries ~quick)
+
+let table3 ~seeds ~quick () =
+  cnot_table ~label:"Table III: additional CNOT gates, 25-qubit linear topology"
+    ~coupling:(Topology.Devices.linear 25) ~seeds (entries ~quick)
+
+let table4 ~seeds ~quick () =
+  cnot_table ~label:"Table IV: additional CNOT gates, 5x5 grid topology"
+    ~coupling:(Topology.Devices.grid 5 5) ~seeds (entries ~quick)

@@ -1,0 +1,48 @@
+(* Bechamel micro-benchmarks: transpilation latency per table workload.
+   One Test.make per table; run with --timing. *)
+
+open Bechamel
+open Toolkit
+
+let transpile router coupling circuit () =
+  ignore (Qroute.Pipeline.transpile ~router coupling circuit)
+
+let test_for_table ~name ~coupling =
+  let circuit = Qbench.Generators.grover 6 in
+  Test.make_grouped ~name
+    [
+      Test.make ~name:"sabre"
+        (Staged.stage (transpile Qroute.Pipeline.Sabre_router coupling circuit));
+      Test.make ~name:"nassc"
+        (Staged.stage
+           (transpile
+              (Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config)
+              coupling circuit));
+    ]
+
+let tests =
+  Test.make_grouped ~name:"transpile"
+    [
+      test_for_table ~name:"table1-montreal" ~coupling:Topology.Devices.montreal;
+      test_for_table ~name:"table3-linear" ~coupling:(Topology.Devices.linear 25);
+      test_for_table ~name:"table4-grid" ~coupling:(Topology.Devices.grid 5 5);
+    ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instance raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun name tbl ->
+      Hashtbl.iter
+        (fun test result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "%-40s %-16s %12.3f ms/run\n" test name (est /. 1e6)
+          | _ -> ())
+        tbl)
+    results

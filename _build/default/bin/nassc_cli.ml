@@ -1,0 +1,150 @@
+(* Command-line front end: transpile a benchmark circuit for a device
+   topology and report the paper's metrics, optionally emitting OpenQASM. *)
+
+open Cmdliner
+
+let benchmark_arg =
+  let doc = "Benchmark name (see `list`), e.g. 'VQE 8-qubits'." in
+  Arg.(value & opt string "VQE 8-qubits" & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+let topology_arg =
+  let doc = "Device topology: montreal | linear | grid | full." in
+  Arg.(value & opt string "montreal" & info [ "t"; "topology" ] ~docv:"TOPOLOGY" ~doc)
+
+let size_arg =
+  let doc = "Qubit count for linear/full (grid uses the nearest square)." in
+  Arg.(value & opt int 27 & info [ "n"; "size" ] ~docv:"N" ~doc)
+
+let router_arg =
+  let doc = "Router: sabre | nassc | sabre-ha | nassc-ha | none." in
+  Arg.(value & opt string "nassc" & info [ "r"; "router" ] ~docv:"ROUTER" ~doc)
+
+let seed_arg =
+  let doc = "Routing seed." in
+  Arg.(value & opt int 11 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let qasm_arg =
+  let doc = "Print the transpiled circuit as OpenQASM 2." in
+  Arg.(value & flag & info [ "qasm" ] ~doc)
+
+let router_of_string cal = function
+  | "sabre" -> Ok Qroute.Pipeline.Sabre_router
+  | "nassc" -> Ok (Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config)
+  | "sabre-ha" ->
+      ignore cal;
+      Ok Qroute.Pipeline.Sabre_ha
+  | "nassc-ha" -> Ok (Qroute.Pipeline.Nassc_ha Qroute.Nassc.default_config)
+  | "none" -> Ok Qroute.Pipeline.Full_connectivity
+  | r -> Error ("unknown router " ^ r)
+
+let transpile_cmd benchmark topology size router seed qasm =
+  match
+    (try Ok (Qbench.Suite.find benchmark) with Not_found -> Error ("unknown benchmark " ^ benchmark))
+  with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok entry -> begin
+      let coupling =
+        try Topology.Devices.by_name topology size
+        with Invalid_argument m ->
+          prerr_endline m;
+          exit 1
+      in
+      let cal = Topology.Calibration.generate coupling in
+      match router_of_string cal router with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok router ->
+          let circuit = entry.build () in
+          let params = { Qroute.Engine.default_params with seed } in
+          let r = Qroute.Pipeline.transpile ~params ~calibration:cal ~router coupling circuit in
+          Printf.printf "benchmark:       %s (%d qubits)\n" entry.name entry.n_qubits;
+          Printf.printf "topology:        %s (%d qubits)\n" topology
+            (Topology.Coupling.n_qubits coupling);
+          Printf.printf "cx_total:        %d\n" r.cx_total;
+          Printf.printf "depth:           %d\n" r.depth;
+          Printf.printf "swaps inserted:  %d\n" r.n_swaps;
+          Printf.printf "transpile time:  %.3f s\n" r.transpile_time;
+          (match r.final_layout with
+          | Some fl ->
+              Printf.printf "final layout:    %s\n"
+                (String.concat " " (Array.to_list (Array.map string_of_int fl)))
+          | None -> ());
+          if qasm then print_string (Qcircuit.Qasm.to_string r.circuit);
+          0
+    end
+
+let file_arg =
+  let doc = "OpenQASM 2 file to transpile." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let transpile_file_cmd path topology size router seed qasm =
+  match (try Ok (Qcircuit.Qasm_parser.parse_file path) with
+        | Qcircuit.Qasm_parser.Parse_error m -> Error m
+        | Sys_error m -> Error m)
+  with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok circuit -> begin
+      let coupling =
+        try Topology.Devices.by_name topology size
+        with Invalid_argument m ->
+          prerr_endline m;
+          exit 1
+      in
+      let cal = Topology.Calibration.generate coupling in
+      match router_of_string cal router with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok router ->
+          let params = { Qroute.Engine.default_params with seed } in
+          let r = Qroute.Pipeline.transpile ~params ~calibration:cal ~router coupling circuit in
+          Printf.printf "input:           %s (%d qubits, %d ops)\n" path
+            (Qcircuit.Circuit.n_qubits circuit)
+            (Qcircuit.Circuit.size circuit);
+          Printf.printf "cx_total:        %d\n" r.cx_total;
+          Printf.printf "depth:           %d\n" r.depth;
+          Printf.printf "swaps inserted:  %d\n" r.n_swaps;
+          if qasm then print_string (Qcircuit.Qasm.to_string r.circuit);
+          0
+    end
+
+let list_cmd () =
+  Printf.printf "%-24s %7s %6s %6s\n" "name" "qubits" "heavy" "noise";
+  List.iter
+    (fun (e : Qbench.Suite.entry) ->
+      Printf.printf "%-24s %7d %6b %6b\n" e.name e.n_qubits e.heavy e.noise_subset)
+    Qbench.Suite.paper_suite;
+  0
+
+let transpile_t =
+  Term.(
+    const transpile_cmd $ benchmark_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
+    $ qasm_arg)
+
+let cmd_transpile =
+  Cmd.v (Cmd.info "transpile" ~doc:"Transpile a benchmark and report metrics") transpile_t
+
+let cmd_list = Cmd.v (Cmd.info "list" ~doc:"List available benchmarks") Term.(const list_cmd $ const ())
+
+let transpile_file_t =
+  Term.(
+    const transpile_file_cmd $ file_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
+    $ qasm_arg)
+
+let cmd_transpile_file =
+  Cmd.v
+    (Cmd.info "transpile-file" ~doc:"Transpile an OpenQASM 2 file")
+    transpile_file_t
+
+let main =
+  Cmd.group
+    (Cmd.info "nassc" ~version:"1.0.0"
+       ~doc:"Optimization-aware qubit routing (NASSC, HPCA 2022) in OCaml")
+    [ cmd_transpile; cmd_transpile_file; cmd_list ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/circuit_analysis.ml: Analysis Array Circuit Hashtbl List Printf Qasm Qasm_parser Qbench Qcircuit Qroute Topology

@@ -1,0 +1,1 @@
+examples/custom_topology.ml: List Mat Mathkit Printf Qbench Qgate Qpasses Qroute Randmat Rng String Topology

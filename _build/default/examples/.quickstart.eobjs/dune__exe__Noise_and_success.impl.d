@@ -1,0 +1,1 @@
+examples/noise_and_success.ml: List Printf Qbench Qroute Qsim String Topology

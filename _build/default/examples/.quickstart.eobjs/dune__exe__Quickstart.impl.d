@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Circuit Format List Printf Qasm Qcircuit Qgate Qroute String Topology

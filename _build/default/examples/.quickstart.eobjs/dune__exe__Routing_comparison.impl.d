@@ -1,0 +1,1 @@
+examples/routing_comparison.ml: Array List Printf Qbench Qroute String Sys Topology

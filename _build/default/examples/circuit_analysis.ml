@@ -1,0 +1,51 @@
+(* Static analysis and interchange: inspect a benchmark's structure, route
+   it, compare before/after profiles, and round-trip through OpenQASM 2.
+
+   Run with: dune exec examples/circuit_analysis.exe *)
+
+open Qcircuit
+
+let show_profile label c =
+  Printf.printf "%s: %d qubits, %d ops, depth %d, 2q-depth %d\n" label
+    (Circuit.n_qubits c) (Circuit.size c) (Circuit.depth c)
+    (Analysis.two_qubit_layers c);
+  print_string "  gate histogram: ";
+  List.iter (fun (g, n) -> Printf.printf "%s:%d " g n) (Analysis.gate_histogram c);
+  print_newline ();
+  let profile = Analysis.parallelism_profile c in
+  let avg =
+    Array.fold_left ( + ) 0 profile |> fun t ->
+    float_of_int t /. float_of_int (max 1 (Array.length profile))
+  in
+  Printf.printf "  avg parallelism: %.2f ops/layer, critical path %d ops\n" avg
+    (List.length (Analysis.critical_path c))
+
+let () =
+  let circuit = Qbench.Generators.adder 10 in
+  show_profile "Cuccaro adder (logical)" circuit;
+
+  (* which logical pairs talk the most?  (what routing has to respect) *)
+  print_endline "\nHottest logical interactions:";
+  let g = Analysis.interaction_graph circuit in
+  Hashtbl.fold (fun k v acc -> (v, k) :: acc) g []
+  |> List.sort compare |> List.rev
+  |> List.filteri (fun i _ -> i < 5)
+  |> List.iter (fun (n, (a, b)) -> Printf.printf "  (%d,%d): %d two-qubit gates\n" a b n);
+
+  (* route and compare *)
+  let coupling = Topology.Devices.montreal in
+  let r =
+    Qroute.Pipeline.transpile
+      ~router:(Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config)
+      coupling circuit
+  in
+  print_newline ();
+  show_profile "After NASSC routing to ibmq_montreal" r.circuit;
+
+  (* interchange: emit QASM, parse it back, verify equality of metrics *)
+  let qasm = Qasm.to_string r.circuit in
+  let parsed = Qasm_parser.parse qasm in
+  Printf.printf "\nQASM round trip: %d ops emitted, %d parsed back, cx %d = %d: %b\n"
+    (Circuit.size r.circuit) (Circuit.size parsed) (Circuit.cx_count r.circuit)
+    (Circuit.cx_count parsed)
+    (Circuit.cx_count r.circuit = Circuit.cx_count parsed)

@@ -1,0 +1,54 @@
+(* Quickstart: build a circuit, transpile it for a real device topology with
+   the NASSC router, and inspect the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Qcircuit
+
+let () =
+  (* 1. Build a logical circuit with the builder API: a 5-qubit GHZ state
+     followed by a round of phase rotations and a ripple of CNOTs. *)
+  let b = Circuit.Builder.create 5 in
+  Circuit.Builder.add b Qgate.Gate.H [ 0 ];
+  for i = 0 to 3 do
+    Circuit.Builder.add b Qgate.Gate.CX [ i; i + 1 ]
+  done;
+  for i = 0 to 4 do
+    Circuit.Builder.add b (Qgate.Gate.RZ (0.1 *. float_of_int (i + 1))) [ i ]
+  done;
+  Circuit.Builder.add b Qgate.Gate.CX [ 0; 4 ];
+  Circuit.Builder.add b Qgate.Gate.CX [ 4; 0 ];
+  let circuit = Circuit.Builder.circuit b in
+  Format.printf "Logical circuit:@.%a@." Circuit.pp circuit;
+
+  (* 2. Pick the target device: the 27-qubit ibmq_montreal heavy-hex
+     lattice.  Qubits 0 and 4 are not adjacent there, so routing must
+     insert SWAPs. *)
+  let coupling = Topology.Devices.montreal in
+  Format.printf "Device: %a, diameter %d@.@." Topology.Coupling.pp coupling
+    (Topology.Coupling.diameter coupling);
+
+  (* 3. Transpile with the full NASSC flow (lower -> optimize -> route ->
+     optimize -> hardware basis {rz, sx, x, cx}). *)
+  let result =
+    Qroute.Pipeline.transpile
+      ~router:(Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config)
+      coupling circuit
+  in
+  Printf.printf "Transpiled: %d CNOTs, depth %d, %d SWAPs inserted (%.3f s)\n"
+    result.cx_total result.depth result.n_swaps result.transpile_time;
+  (match (result.initial_layout, result.final_layout) with
+  | Some init, Some final ->
+      Printf.printf "Initial layout (logical -> physical): %s\n"
+        (String.concat " " (Array.to_list (Array.map string_of_int init)));
+      Printf.printf "Final layout   (logical -> physical): %s\n"
+        (String.concat " " (Array.to_list (Array.map string_of_int final)))
+  | _ -> ());
+
+  (* 4. Export OpenQASM 2 for interchange with other toolchains. *)
+  print_endline "\nOpenQASM 2 output (first 12 lines):";
+  let qasm = Qasm.to_string result.circuit in
+  String.split_on_char '\n' qasm
+  |> List.filteri (fun i _ -> i < 12)
+  |> List.iter print_endline;
+  print_endline "..."

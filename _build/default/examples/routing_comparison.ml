@@ -1,0 +1,50 @@
+(* Routing-cost comparison: the paper's headline experiment in miniature.
+   For one benchmark, compare SABRE and NASSC added-CNOT counts across the
+   three device topologies of Figure 10, averaged over seeds.
+
+   Run with: dune exec examples/routing_comparison.exe [benchmark-name]
+   (default "VQE 8-qubits"; see Qbench.Suite for names) *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "VQE 8-qubits" in
+  let entry =
+    try Qbench.Suite.find name
+    with Not_found ->
+      Printf.eprintf "unknown benchmark %S; available:\n" name;
+      List.iter (fun e -> Printf.eprintf "  %s\n" e.Qbench.Suite.name) Qbench.Suite.paper_suite;
+      exit 1
+  in
+  let circuit = entry.build () in
+  Printf.printf "Benchmark %s (%d qubits)\n\n" entry.name entry.n_qubits;
+  let topologies =
+    [
+      ("ibmq_montreal (heavy-hex)", Topology.Devices.montreal);
+      ("linear-25", Topology.Devices.linear 25);
+      ("grid-5x5", Topology.Devices.grid 5 5);
+    ]
+  in
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  Printf.printf "%-28s %10s %12s %12s %8s\n" "topology" "original" "SABRE add" "NASSC add"
+    "saving";
+  Printf.printf "%s\n" (String.make 76 '-');
+  List.iter
+    (fun (label, coupling) ->
+      let base =
+        Qroute.Pipeline.transpile ~router:Qroute.Pipeline.Full_connectivity coupling circuit
+      in
+      let avg router =
+        let total =
+          List.fold_left
+            (fun acc seed ->
+              let params = { Qroute.Engine.default_params with seed } in
+              let r = Qroute.Pipeline.transpile ~params ~router coupling circuit in
+              acc + r.cx_total - base.cx_total)
+            0 seeds
+        in
+        float_of_int total /. float_of_int (List.length seeds)
+      in
+      let sabre = avg Qroute.Pipeline.Sabre_router in
+      let nassc = avg (Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config) in
+      Printf.printf "%-28s %10d %12.1f %12.1f %7.1f%%\n%!" label base.cx_total sabre nassc
+        (100.0 *. (1.0 -. (nassc /. sabre))))
+    topologies

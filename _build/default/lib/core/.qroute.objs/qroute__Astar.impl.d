@@ -1,0 +1,1 @@
+lib/core/astar.ml: Array Coupling Gate Hashtbl List Mathkit Qcircuit Qgate Sabre Set String Topology

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Coupling Float Gate Hashtbl List Mathkit Qcircuit Qgate Rng Topology

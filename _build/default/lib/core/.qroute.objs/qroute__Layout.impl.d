@@ -1,0 +1,1 @@
+lib/core/layout.ml: Array Coupling List Mathkit Topology

@@ -1,0 +1,1 @@
+lib/core/nassc.ml: Engine Gate List Mathkit Qcircuit Qgate Qpasses Sabre Topology Unitary

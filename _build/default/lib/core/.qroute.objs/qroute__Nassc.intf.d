@@ -1,0 +1,1 @@
+lib/core/nassc.mli: Engine Qcircuit Sabre Topology

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Astar Basis Cancellation Engine List Nassc Optimize_1q Option Peephole Qcircuit Qgate Qpasses Sabre Sys Topology Unitary_synthesis

@@ -1,0 +1,1 @@
+lib/core/sabre.ml: Array Coupling Engine Gate List Qcircuit Qgate Topology

@@ -1,0 +1,254 @@
+open Mathkit
+open Qgate
+open Topology
+
+type params = {
+  ext_size : int;
+  ext_weight : float;
+  decay_delta : float;
+  stall_limit : int;
+  seed : int;
+  iterations : int;
+  bonus_weight : float;
+}
+
+let default_params =
+  {
+    ext_size = 20;
+    ext_weight = 0.5;
+    decay_delta = 0.001;
+    stall_limit = 30;
+    seed = 11;
+    iterations = 3;
+    bonus_weight = 1.0;
+  }
+
+type tag = Not_swap | Swap_plain | Swap_orient of int * int
+type out_op = { mutable gate : Gate.t; op_qubits : int list; mutable tag : tag }
+type mapping = { l2p : int array; p2l : int array }
+
+let mapping_of_layout ~n_phys l2p =
+  let p2l = Array.make n_phys (-1) in
+  Array.iteri
+    (fun l p ->
+      if p < 0 || p >= n_phys then invalid_arg "Engine.mapping_of_layout: bad layout";
+      if p2l.(p) >= 0 then invalid_arg "Engine.mapping_of_layout: duplicate physical qubit";
+      p2l.(p) <- l)
+    l2p;
+  { l2p = Array.copy l2p; p2l }
+
+let apply_swap m p1 p2 =
+  let l1 = m.p2l.(p1) and l2 = m.p2l.(p2) in
+  m.p2l.(p1) <- l2;
+  m.p2l.(p2) <- l1;
+  if l1 >= 0 then m.l2p.(l1) <- p2;
+  if l2 >= 0 then m.l2p.(l2) <- p1
+
+type bonus_fn =
+  out_rev:out_op list -> mapping:mapping -> int -> int -> float * (out_op -> unit)
+
+let zero_bonus ~out_rev:_ ~mapping:_ _ _ = (0.0, fun _ -> ())
+
+type result = {
+  routed : out_op list;
+  initial_layout : int array;
+  final_layout : int array;
+  n_swaps : int;
+}
+
+let two_qubit_front dag tr mapping =
+  List.filter_map
+    (fun id ->
+      let nd = Qcircuit.Dag.node dag id in
+      if Gate.is_two_qubit nd.gate then
+        match nd.qubits with
+        | [ a; b ] -> Some (mapping.l2p.(a), mapping.l2p.(b))
+        | _ -> None
+      else None)
+    (Qcircuit.Dag.Traversal.front tr)
+
+let route_once params coupling ~dist ~bonus circuit init_layout =
+  let n_phys = Coupling.n_qubits coupling in
+  let n_log = Qcircuit.Circuit.n_qubits circuit in
+  if n_log > n_phys then invalid_arg "Engine.route_once: circuit larger than device";
+  List.iter
+    (fun (i : Qcircuit.Circuit.instr) ->
+      if Gate.arity i.gate > 2 && not (Gate.is_directive i.gate) then
+        invalid_arg "Engine.route_once: lower gates to <=2 qubits before routing")
+    (Qcircuit.Circuit.instrs circuit);
+  let rng = Rng.create params.seed in
+  let mapping = mapping_of_layout ~n_phys init_layout in
+  let initial_layout = Array.copy mapping.l2p in
+  let dag = Qcircuit.Dag.of_circuit circuit in
+  let tr = Qcircuit.Dag.Traversal.create dag in
+  let out_rev = ref [] in
+  let n_swaps = ref 0 in
+  let decay = Array.make n_phys 1.0 in
+  let stall = ref 0 in
+  let emit gate qubits tag =
+    let op = { gate; op_qubits = qubits; tag } in
+    out_rev := op :: !out_rev;
+    op
+  in
+  let emit_mapped (nd : Qcircuit.Dag.node) =
+    ignore (emit nd.gate (List.map (fun q -> mapping.l2p.(q)) nd.qubits) Not_swap)
+  in
+  (* execute every currently executable front gate; returns true if any *)
+  let rec drain () =
+    let executable id =
+      let nd = Qcircuit.Dag.node dag id in
+      match nd.qubits with
+      | [ a; b ] when Gate.is_two_qubit nd.gate ->
+          Coupling.connected coupling mapping.l2p.(a) mapping.l2p.(b)
+      | _ -> true
+    in
+    match List.filter executable (Qcircuit.Dag.Traversal.front tr) with
+    | [] -> false
+    | ready ->
+        List.iter
+          (fun id ->
+            emit_mapped (Qcircuit.Dag.node dag id);
+            Qcircuit.Dag.Traversal.execute tr id)
+          ready;
+        ignore (drain ());
+        true
+  in
+  let apply_best_swap () =
+    let front_pairs = two_qubit_front dag tr mapping in
+    let ext_pairs =
+      List.filter_map
+        (fun id ->
+          let nd = Qcircuit.Dag.node dag id in
+          match nd.qubits with
+          | [ a; b ] -> Some (mapping.l2p.(a), mapping.l2p.(b))
+          | _ -> None)
+        (Qcircuit.Dag.Traversal.lookahead tr params.ext_size)
+    in
+    (* candidate swaps: all couplings touching a physical qubit of a front
+       gate *)
+    let candidate_set = Hashtbl.create 32 in
+    List.iter
+      (fun (pa, pb) ->
+        List.iter
+          (fun p ->
+            List.iter
+              (fun nb ->
+                let key = (min p nb, max p nb) in
+                Hashtbl.replace candidate_set key ())
+              (Coupling.neighbors coupling p))
+          [ pa; pb ])
+      front_pairs;
+    let candidates = Hashtbl.fold (fun k () acc -> k :: acc) candidate_set [] in
+    let base_front =
+      List.fold_left (fun acc (a, b) -> acc +. dist.(a).(b)) 0.0 front_pairs
+    in
+    let scored =
+      List.map
+        (fun (p1, p2) ->
+          let map_through p = if p = p1 then p2 else if p = p2 then p1 else p in
+          let dsum pairs =
+            List.fold_left
+              (fun acc (a, b) -> acc +. dist.(map_through a).(map_through b))
+              0.0 pairs
+          in
+          let nf = float_of_int (max 1 (List.length front_pairs)) in
+          let ne = float_of_int (max 1 (List.length ext_pairs)) in
+          let front_after = dsum front_pairs in
+          (* Optimization bonuses only discriminate between candidates that
+             actually advance the front layer; a SWAP that cancels CNOTs but
+             moves no qubit closer is still wasted work. *)
+          let bonus_v, action =
+            if front_after < base_front -. 1e-9 then bonus ~out_rev:!out_rev ~mapping p1 p2
+            else (0.0, fun _ -> ())
+          in
+          let h_basic = ((3.0 *. front_after) -. (params.bonus_weight *. bonus_v)) /. nf in
+          let h_ext =
+            if ext_pairs = [] then 0.0
+            else params.ext_weight /. ne *. dsum ext_pairs
+          in
+          let h = (h_basic +. h_ext) *. Float.max decay.(p1) decay.(p2) in
+          (h, (p1, p2), action))
+        candidates
+    in
+    match scored with
+    | [] -> invalid_arg "Engine.route_once: stuck with no swap candidates"
+    | _ ->
+        let best_h = List.fold_left (fun m (h, _, _) -> Float.min m h) infinity scored in
+        let best = List.filter (fun (h, _, _) -> h <= best_h +. 1e-12) scored in
+        let _, (p1, p2), action = Rng.pick rng best in
+        let op = emit Gate.SWAP [ p1; p2 ] Swap_plain in
+        action op;
+        apply_swap mapping p1 p2;
+        incr n_swaps;
+        decay.(p1) <- decay.(p1) +. params.decay_delta;
+        decay.(p2) <- decay.(p2) +. params.decay_delta
+  in
+  let force_progress () =
+    (* escape valve: route the first front 2q gate along a shortest path *)
+    match Qcircuit.Dag.Traversal.front tr with
+    | [] -> ()
+    | id :: _ -> begin
+        let nd = Qcircuit.Dag.node dag id in
+        match nd.qubits with
+        | [ a; b ] ->
+            let pa = mapping.l2p.(a) and pb = mapping.l2p.(b) in
+            let path = Coupling.shortest_path coupling pa pb in
+            let rec walk = function
+              | p :: q :: rest when rest <> [] ->
+                  ignore (emit Gate.SWAP [ p; q ] Swap_plain);
+                  apply_swap mapping p q;
+                  incr n_swaps;
+                  walk (q :: rest)
+              | _ -> ()
+            in
+            walk path
+        | _ -> ()
+      end
+  in
+  while not (Qcircuit.Dag.Traversal.finished tr) do
+    if drain () then begin
+      stall := 0;
+      Array.fill decay 0 n_phys 1.0
+    end
+    else begin
+      if !stall >= params.stall_limit then begin
+        force_progress ();
+        stall := 0
+      end
+      else begin
+        apply_best_swap ();
+        incr stall
+      end
+    end
+  done;
+  {
+    routed = List.rev !out_rev;
+    initial_layout;
+    final_layout = Array.copy mapping.l2p;
+    n_swaps = !n_swaps;
+  }
+
+let reverse_circuit c =
+  Qcircuit.Circuit.create (Qcircuit.Circuit.n_qubits c)
+    (List.rev
+       (List.filter
+          (fun (i : Qcircuit.Circuit.instr) -> i.gate <> Gate.Measure)
+          (Qcircuit.Circuit.instrs c)))
+
+let find_layout params coupling ~dist ~bonus circuit =
+  let n_phys = Coupling.n_qubits coupling in
+  let n_log = Qcircuit.Circuit.n_qubits circuit in
+  let rng = Rng.create (params.seed + 7919) in
+  let perm = Rng.permutation rng n_phys in
+  let layout = ref (Array.init n_log (fun l -> perm.(l))) in
+  let fwd = circuit and bwd = reverse_circuit circuit in
+  for _ = 1 to params.iterations do
+    let r1 = route_once params coupling ~dist ~bonus fwd !layout in
+    let r2 = route_once params coupling ~dist ~bonus bwd r1.final_layout in
+    layout := r2.final_layout
+  done;
+  !layout
+
+let to_circuit ~n_phys ops =
+  Qcircuit.Circuit.create n_phys
+    (List.map (fun op -> { Qcircuit.Circuit.gate = op.gate; qubits = op.op_qubits }) ops)

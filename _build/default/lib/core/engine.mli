@@ -1,0 +1,84 @@
+(** Shared SABRE-style routing engine (Section IV-B of the paper).
+
+    Both routers walk the circuit DAG layer by layer: executable gates are
+    emitted onto their mapped physical qubits; when the front layer is stuck,
+    every SWAP touching a front-gate qubit is scored with the lookahead cost
+    function (paper eq. 2) and the cheapest one is applied.  The two routers
+    differ only in the [bonus] hook: SABRE's is constantly zero, NASSC's
+    estimates the CNOT savings that downstream optimizations will realize
+    (C_2q, C_commute1, C_commute2) and tags the chosen SWAP's decomposition.
+
+    A decay penalty on recently swapped qubits (as in Qiskit's SabreSwap)
+    prevents ping-ponging, and a stall valve falls back to shortest-path
+    routing if no gate retires for too long. *)
+
+type params = {
+  ext_size : int;  (** |E|, the paper uses 20 *)
+  ext_weight : float;  (** W, the paper uses 0.5 *)
+  decay_delta : float;  (** decay increment per swap on a qubit *)
+  stall_limit : int;  (** swaps without progress before the escape valve *)
+  seed : int;
+  iterations : int;  (** forward/backward layout-refinement rounds *)
+  bonus_weight : float;
+      (** scale on the optimization bonus inside H_basic; 1.0 applies the
+          paper's eq. 1 literally, smaller values confine the bonus to
+          tie-breaking between equal-distance candidates *)
+}
+
+val default_params : params
+
+type tag = Not_swap | Swap_plain | Swap_orient of int * int
+(** Decoration on emitted SWAPs: [Swap_orient (c, t)] requests the
+    decomposition whose first and last CNOTs have control [c], target [t]. *)
+
+type out_op = {
+  mutable gate : Qgate.Gate.t;
+  op_qubits : int list;
+  mutable tag : tag;
+}
+
+type mapping = { l2p : int array; p2l : int array }
+
+val mapping_of_layout : n_phys:int -> int array -> mapping
+(** [mapping_of_layout ~n_phys l2p] builds the two-way mapping; physical
+    qubits not in the image hold no logical qubit ([p2l] = -1). *)
+
+type bonus_fn =
+  out_rev:out_op list -> mapping:mapping -> int -> int -> float * (out_op -> unit)
+(** [bonus ~out_rev ~mapping p1 p2] scores the candidate SWAP on physical
+    qubits [(p1, p2)]: returns the estimated CNOT reduction and a callback
+    run on the emitted SWAP op if this candidate wins (used for tagging). *)
+
+val zero_bonus : bonus_fn
+
+type result = {
+  routed : out_op list;  (** in circuit order *)
+  initial_layout : int array;
+  final_layout : int array;
+  n_swaps : int;
+}
+
+val route_once :
+  params ->
+  Topology.Coupling.t ->
+  dist:float array array ->
+  bonus:bonus_fn ->
+  Qcircuit.Circuit.t ->
+  int array ->
+  result
+(** One routing pass from a given initial layout (logical -> physical).
+    The input circuit must contain only <=2-qubit gates and directives.
+    @raise Invalid_argument otherwise, or when the layout is unusable. *)
+
+val find_layout :
+  params ->
+  Topology.Coupling.t ->
+  dist:float array array ->
+  bonus:bonus_fn ->
+  Qcircuit.Circuit.t ->
+  int array
+(** Random initial layout refined by reverse-traversal rounds (the paper
+    reuses SABRE's bidirectional scheme). *)
+
+val to_circuit : n_phys:int -> out_op list -> Qcircuit.Circuit.t
+(** Materialize routed ops (SWAP tags ignored: swaps stay SWAP gates). *)

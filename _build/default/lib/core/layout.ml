@@ -1,0 +1,76 @@
+open Topology
+
+let check_fits ~n_log coupling =
+  if n_log > Coupling.n_qubits coupling then
+    invalid_arg "Layout: circuit larger than device"
+
+let trivial ~n_log coupling =
+  check_fits ~n_log coupling;
+  Array.init n_log (fun i -> i)
+
+let random ~seed ~n_log coupling =
+  check_fits ~n_log coupling;
+  let rng = Mathkit.Rng.create seed in
+  let perm = Mathkit.Rng.permutation rng (Coupling.n_qubits coupling) in
+  Array.init n_log (fun i -> perm.(i))
+
+let dense ~n_log coupling =
+  check_fits ~n_log coupling;
+  let n = Coupling.n_qubits coupling in
+  let placed = Array.make n false in
+  let start =
+    let best = ref 0 in
+    for q = 1 to n - 1 do
+      if Coupling.degree coupling q > Coupling.degree coupling !best then best := q
+    done;
+    !best
+  in
+  let chosen = ref [ start ] in
+  placed.(start) <- true;
+  for _ = 2 to n_log do
+    (* frontier: unplaced neighbours of the placed set; prefer the one with
+       the most placed neighbours, then highest degree *)
+    let score q =
+      let placed_nb =
+        List.length (List.filter (fun v -> placed.(v)) (Coupling.neighbors coupling q))
+      in
+      (placed_nb, Coupling.degree coupling q)
+    in
+    let frontier =
+      List.concat_map
+        (fun p -> List.filter (fun v -> not placed.(v)) (Coupling.neighbors coupling p))
+        !chosen
+      |> List.sort_uniq compare
+    in
+    let pick =
+      match frontier with
+      | [] ->
+          (* disconnected remainder: any unplaced qubit *)
+          let q = ref 0 in
+          while placed.(!q) do
+            incr q
+          done;
+          !q
+      | f ->
+          List.fold_left
+            (fun best q -> if score q > score best then q else best)
+            (List.hd f) f
+    in
+    placed.(pick) <- true;
+    chosen := pick :: !chosen
+  done;
+  Array.of_list (List.rev !chosen)
+
+let average_pairwise_distance coupling layout =
+  let n = Array.length layout in
+  if n < 2 then 0.0
+  else begin
+    let acc = ref 0 and count = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        acc := !acc + Coupling.distance coupling layout.(i) layout.(j);
+        incr count
+      done
+    done;
+    float_of_int !acc /. float_of_int !count
+  end

@@ -1,0 +1,21 @@
+(** Initial-layout strategies.
+
+    The paper reuses SABRE's random-init + reverse-traversal scheme (that
+    lives in {!Engine.find_layout}); these simpler strategies are provided
+    for baselines and ablations, mirroring Qiskit's TrivialLayout /
+    DenseLayout. *)
+
+val trivial : n_log:int -> Topology.Coupling.t -> int array
+(** Logical qubit [i] on physical qubit [i]. *)
+
+val random : seed:int -> n_log:int -> Topology.Coupling.t -> int array
+(** Uniform random injection of logical into physical qubits. *)
+
+val dense : n_log:int -> Topology.Coupling.t -> int array
+(** Greedy densest-subgraph placement: BFS from the highest-degree physical
+    qubit, preferring neighbours with the most already-placed neighbours,
+    so the chosen region has high internal connectivity. *)
+
+val average_pairwise_distance : Topology.Coupling.t -> int array -> float
+(** Mean physical distance over all pairs of placed qubits; the figure of
+    merit the dense layout optimizes (exposed for tests/benches). *)

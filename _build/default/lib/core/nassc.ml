@@ -1,0 +1,177 @@
+open Qgate
+
+type config = {
+  enable_2q : bool;
+  enable_commute1 : bool;
+  enable_commute2 : bool;
+  orient_swaps : bool;
+  scan_limit : int;
+}
+
+let default_config =
+  {
+    enable_2q = true;
+    enable_commute1 = true;
+    enable_commute2 = true;
+    orient_swaps = true;
+    scan_limit = 20;
+  }
+
+let swap_unitary = Unitary.of_gate Gate.SWAP
+
+let touches qs (op : Engine.out_op) = List.exists (fun q -> List.mem q op.op_qubits) qs
+
+(* C_2q: CNOTs the SWAP saves by merging into the trailing two-qubit block
+   on (p1, p2).  The trailing block is the run of ops confined to the pair,
+   read from the end of the emitted stream. *)
+let c2q_bonus ~out_rev p1 p2 =
+  let rec collect acc has2q steps = function
+    | [] -> (acc, has2q)
+    | (op : Engine.out_op) :: rest ->
+        if steps <= 0 then (acc, has2q)
+        else if not (touches [ p1; p2 ] op) then collect acc has2q (steps - 1) rest
+        else if Gate.is_one_qubit op.gate then collect (op :: acc) has2q (steps - 1) rest
+        else if
+          Gate.is_two_qubit op.gate
+          && List.sort compare op.op_qubits = List.sort compare [ p1; p2 ]
+        then collect (op :: acc) true (steps - 1) rest
+        else (acc, has2q)
+  in
+  let block, has2q = collect [] false 24 out_rev in
+  if not has2q then 0.0
+  else begin
+    let local q = if q = p1 then 0 else 1 in
+    let block_u =
+      List.fold_left
+        (fun acc (op : Engine.out_op) ->
+          Mathkit.Mat.mul
+            (Qcircuit.Circuit.embed ~n:2 (Unitary.of_gate op.gate)
+               (List.map local op.op_qubits))
+            acc)
+        (Mathkit.Mat.identity 4) block
+    in
+    let before = Qpasses.Weyl.cnot_cost_fast block_u in
+    let after = Qpasses.Weyl.cnot_cost_fast (Mathkit.Mat.mul swap_unitary block_u) in
+    float_of_int (max 0 (before + 3 - after))
+  end
+
+(* Walk back from the candidate SWAP looking for a cancellable CNOT (case 1)
+   or a sandwich SWAP (case 2) with first CNOT oriented (c, t).  Single
+   qubit gates contiguous with the SWAP are movable through it; afterwards
+   every skipped gate must commute with cx(c, t). *)
+type found = Cx_found | Swap_found of Engine.out_op | Nothing
+
+let commute_walk ~scan_limit ~out_rev p1 p2 c t =
+  let cx_ref = (Gate.CX, [ c; t ]) in
+  let rec walk steps contiguous = function
+    | [] -> Nothing
+    | (op : Engine.out_op) :: rest ->
+        if steps <= 0 then Nothing
+        else if not (touches [ p1; p2 ] op) then walk (steps - 1) contiguous rest
+        else if Gate.is_one_qubit op.gate then
+          if contiguous then walk (steps - 1) true rest
+          else if Qpasses.Commutation.commute (op.gate, op.op_qubits) cx_ref then
+            walk (steps - 1) false rest
+          else Nothing
+        else if Gate.is_directive op.gate then Nothing
+        else if List.sort compare op.op_qubits = List.sort compare [ p1; p2 ] then begin
+          match op.gate with
+          | Gate.CX when op.op_qubits = [ c; t ] -> Cx_found
+          | Gate.SWAP -> Swap_found op
+          | _ -> Nothing
+        end
+        else if Qpasses.Commutation.commute (op.gate, op.op_qubits) cx_ref then
+          walk (steps - 1) false rest
+        else Nothing
+  in
+  walk scan_limit true out_rev
+
+let orientation_tag_compatible (op : Engine.out_op) c t =
+  match op.tag with
+  | Engine.Swap_plain -> true
+  | Engine.Swap_orient (c', t') -> c = c' && t = t'
+  | Engine.Not_swap -> false
+
+let commute_bonus cfg ~out_rev p1 p2 =
+  let tag_if_enabled (op : Engine.out_op) c t =
+    if cfg.orient_swaps then op.tag <- Engine.Swap_orient (c, t)
+  in
+  let try_orientation (c, t) =
+    match commute_walk ~scan_limit:cfg.scan_limit ~out_rev p1 p2 c t with
+    | Cx_found when cfg.enable_commute1 ->
+        Some (2.0, fun (swap_op : Engine.out_op) -> tag_if_enabled swap_op c t)
+    | Swap_found earlier when cfg.enable_commute2 && orientation_tag_compatible earlier c t
+      ->
+        Some
+          ( 2.0,
+            fun (swap_op : Engine.out_op) ->
+              tag_if_enabled earlier c t;
+              tag_if_enabled swap_op c t )
+    | _ -> None
+  in
+  match try_orientation (p1, p2) with
+  | Some r -> Some r
+  | None -> try_orientation (p2, p1)
+
+let bonus cfg : Engine.bonus_fn =
+ fun ~out_rev ~mapping:_ p1 p2 ->
+  let c2q = if cfg.enable_2q then c2q_bonus ~out_rev p1 p2 else 0.0 in
+  match commute_bonus cfg ~out_rev p1 p2 with
+  | Some (c_comm, action) when c_comm >= c2q -> (c_comm, action)
+  | Some _ | None -> (c2q, fun _ -> ())
+
+(* ---- optimization-aware SWAP decomposition ---- *)
+
+let cx a b = { Qcircuit.Circuit.gate = Gate.CX; qubits = [ a; b ] }
+
+let finalize ops =
+  (* accumulate output in reverse; oriented swaps pull the contiguous 1q
+     gates sitting before them on their wires to after the swap (with the
+     wire exchanged), exposing the cancellable CNOT pair. *)
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  let handle (op : Engine.out_op) =
+    match (op.gate, op.op_qubits, op.tag) with
+    | Gate.SWAP, [ a; b ], Engine.Swap_plain -> List.iter emit [ cx a b; cx b a; cx a b ]
+    | Gate.SWAP, [ a; b ], Engine.Swap_orient (c, t) ->
+        let moved = ref [] in
+        let rec pull () =
+          match !out with
+          | (i : Qcircuit.Circuit.instr) :: rest
+            when Gate.is_one_qubit i.gate
+                 && (i.qubits = [ a ] || i.qubits = [ b ]) ->
+              out := rest;
+              moved := i :: !moved;
+              pull ()
+          | _ -> ()
+        in
+        pull ();
+        List.iter emit [ cx c t; cx t c; cx c t ];
+        (* re-emit moved gates after the swap on the exchanged wire,
+           preserving their relative order *)
+        List.iter
+          (fun (i : Qcircuit.Circuit.instr) ->
+            let q = List.hd i.qubits in
+            let q' = if q = a then b else a in
+            emit { i with qubits = [ q' ] })
+          !moved
+    | _, qs, _ -> emit { Qcircuit.Circuit.gate = op.gate; qubits = qs }
+  in
+  List.iter handle ops;
+  List.rev !out
+
+let route ?(params = Engine.default_params) ?(config = default_config) ?dist coupling
+    circuit =
+  let dist = match dist with Some d -> d | None -> Sabre.hop_distance coupling in
+  let b = bonus config in
+  (* layout search uses the plain heuristic (same mapping algorithm as
+     SABRE, Section IV-A) *)
+  let layout = Engine.find_layout params coupling ~dist ~bonus:Engine.zero_bonus circuit in
+  let r = Engine.route_once params coupling ~dist ~bonus:b circuit layout in
+  let instrs = finalize r.routed in
+  {
+    Sabre.circuit = Qcircuit.Circuit.create (Topology.Coupling.n_qubits coupling) instrs;
+    initial_layout = r.initial_layout;
+    final_layout = r.final_layout;
+    n_swaps = r.n_swaps;
+  }

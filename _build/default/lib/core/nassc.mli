@@ -1,0 +1,49 @@
+(** NASSC: optimization-aware qubit routing (the paper's contribution).
+
+    NASSC runs the same layered search as SABRE but scores each candidate
+    SWAP with the CNOT savings that downstream optimizations will realize
+    (paper eq. 1-2):
+
+    - [C_2q]: the SWAP merges into the trailing two-qubit block on its pair
+      and KAK re-synthesis absorbs some (or all) of its three CNOTs;
+    - [C_commute1]: the SWAP's first CNOT cancels against an earlier CNOT on
+      the same pair, reachable through commuting gates (single-qubit gates
+      in between are moved through the SWAP);
+    - [C_commute2]: two SWAPs on the same pair sandwich a set of commuting
+      gates, cancelling one CNOT from each.
+
+    Selected SWAPs are tagged with the decomposition orientation that lets
+    {!Qpasses.Cancellation} actually perform the cancellation
+    (optimization-aware SWAP decomposition, Section IV-E). *)
+
+type config = {
+  enable_2q : bool;
+  enable_commute1 : bool;
+  enable_commute2 : bool;
+  orient_swaps : bool;
+      (** apply the optimization-aware SWAP decomposition (Section IV-E);
+          disabling it is the ablation that keeps the cost model but uses
+          the fixed decomposition template *)
+  scan_limit : int;  (** commute-set search bound; the paper uses 20 *)
+}
+
+val default_config : config
+(** All optimizations on (the paper's choice, Section IV-F). *)
+
+val route :
+  ?params:Engine.params ->
+  ?config:config ->
+  ?dist:float array array ->
+  Topology.Coupling.t ->
+  Qcircuit.Circuit.t ->
+  Sabre.result
+(** Route with optimization-aware cost and SWAP decomposition.  The result
+    circuit has SWAPs already decomposed into oriented CNOT triples, with
+    single-qubit gates moved through oriented SWAPs. *)
+
+val bonus : config -> Engine.bonus_fn
+(** The scoring hook itself (exposed for tests and ablations). *)
+
+val finalize : Engine.out_op list -> Qcircuit.Circuit.instr list
+(** Decompose tagged SWAPs and move single-qubit gates through oriented
+    ones (exposed for tests). *)

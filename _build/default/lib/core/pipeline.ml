@@ -1,0 +1,86 @@
+open Qpasses
+
+type router =
+  | Full_connectivity
+  | Sabre_router
+  | Nassc_router of Nassc.config
+  | Sabre_ha
+  | Nassc_ha of Nassc.config
+  | Astar_router
+
+type result = {
+  circuit : Qcircuit.Circuit.t;
+  cx_total : int;
+  depth : int;
+  n_swaps : int;
+  transpile_time : float;
+  initial_layout : int array option;
+  final_layout : int array option;
+}
+
+let lower_to_2q c =
+  let lowered =
+    Qcircuit.Circuit.instrs c
+    |> List.map (fun (i : Qcircuit.Circuit.instr) -> (i.gate, i.qubits))
+    |> Qgate.Decompose.to_cx_basis
+    |> List.map (fun (g, qs) -> { Qcircuit.Circuit.gate = g; qubits = qs })
+  in
+  Qcircuit.Circuit.create (Qcircuit.Circuit.n_qubits c) lowered
+
+let pre_optimize c =
+  c
+  |> Peephole.run
+  |> Optimize_1q.run Optimize_1q.U_gate
+  |> Cancellation.run_fixpoint ~max_rounds:3
+  |> Unitary_synthesis.run
+  |> Optimize_1q.run Optimize_1q.U_gate
+
+let post_optimize c =
+  c
+  |> Peephole.run
+  |> Cancellation.run_fixpoint ~max_rounds:3
+  |> Unitary_synthesis.run
+  |> Basis.run
+  |> Cancellation.run_fixpoint ~max_rounds:2
+  |> Optimize_1q.run Optimize_1q.Zsx
+
+let noise_dist calibration coupling =
+  match calibration with
+  | Some cal -> Topology.Calibration.noise_distance_matrix cal
+  | None -> Topology.Calibration.noise_distance_matrix (Topology.Calibration.generate coupling)
+
+let transpile ?(params = Engine.default_params) ?calibration ~router coupling circuit =
+  let t0 = Sys.time () in
+  let logical = pre_optimize (lower_to_2q circuit) in
+  let routed, n_swaps, layouts =
+    match router with
+    | Full_connectivity -> (logical, 0, None)
+    | Sabre_router ->
+        let r = Sabre.route ~params coupling logical in
+        (Sabre.decompose_swaps r.circuit, r.n_swaps, Some (r.initial_layout, r.final_layout))
+    | Nassc_router config ->
+        let r = Nassc.route ~params ~config coupling logical in
+        (r.circuit, r.n_swaps, Some (r.initial_layout, r.final_layout))
+    | Astar_router ->
+        let r = Astar.route ~params:{ Astar.default_params with seed = params.seed } coupling logical in
+        (Sabre.decompose_swaps r.circuit, r.n_swaps, Some (r.initial_layout, r.final_layout))
+    | Sabre_ha ->
+        let dist = noise_dist calibration coupling in
+        let r = Sabre.route ~params ~dist coupling logical in
+        (Sabre.decompose_swaps r.circuit, r.n_swaps, Some (r.initial_layout, r.final_layout))
+    | Nassc_ha config ->
+        let dist = noise_dist calibration coupling in
+        let r = Nassc.route ~params ~config ~dist coupling logical in
+        (r.circuit, r.n_swaps, Some (r.initial_layout, r.final_layout))
+  in
+  let final = post_optimize routed in
+  let t1 = Sys.time () in
+  {
+    circuit = final;
+    cx_total = Qcircuit.Circuit.cx_count final;
+    depth = Qcircuit.Circuit.depth final;
+    n_swaps;
+    transpile_time = t1 -. t0;
+    initial_layout = Option.map fst layouts;
+    final_layout = Option.map snd layouts;
+  }

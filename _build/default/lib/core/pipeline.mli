@@ -1,0 +1,45 @@
+(** End-to-end transpilation flows (paper Figures 2 and 5).
+
+    The flow mirrors Qiskit level-3: decompose to {1q, CX} -> pre-routing
+    optimization (1q merge, commutative cancellation, two-qubit block
+    re-synthesis; NASSC moves these before routing, Section IV-A) -> layout
+    + routing -> post-routing optimization -> hardware-basis emission
+    ({rz, sx, x, cx}). *)
+
+type router =
+  | Full_connectivity  (** no routing: the "original circuit" baseline *)
+  | Sabre_router
+  | Nassc_router of Nassc.config
+  | Sabre_ha  (** SABRE with the noise-aware distance matrix (eq. 3) *)
+  | Nassc_ha of Nassc.config
+  | Astar_router  (** Zulehner-style layered A* baseline (related work) *)
+
+type result = {
+  circuit : Qcircuit.Circuit.t;  (** final circuit in the hardware basis *)
+  cx_total : int;
+  depth : int;
+  n_swaps : int;
+  transpile_time : float;  (** seconds of CPU time *)
+  initial_layout : int array option;
+  final_layout : int array option;
+}
+
+val lower_to_2q : Qcircuit.Circuit.t -> Qcircuit.Circuit.t
+(** Structural lowering to {one-qubit gates, CX, directives}. *)
+
+val pre_optimize : Qcircuit.Circuit.t -> Qcircuit.Circuit.t
+(** The logical-circuit optimization bundle run before routing. *)
+
+val post_optimize : Qcircuit.Circuit.t -> Qcircuit.Circuit.t
+(** The physical-circuit optimization bundle run after routing, ending in
+    the hardware basis. *)
+
+val transpile :
+  ?params:Engine.params ->
+  ?calibration:Topology.Calibration.t ->
+  router:router ->
+  Topology.Coupling.t ->
+  Qcircuit.Circuit.t ->
+  result
+(** Full flow.  For [Full_connectivity] the coupling map is ignored and the
+    circuit stays on its logical qubits. *)

@@ -1,0 +1,47 @@
+open Qgate
+open Topology
+
+type result = {
+  circuit : Qcircuit.Circuit.t;
+  initial_layout : int array;
+  final_layout : int array;
+  n_swaps : int;
+}
+
+let hop_distance coupling =
+  let d = Coupling.distance_matrix coupling in
+  Array.map (Array.map (fun x -> if x = max_int then infinity else float_of_int x)) d
+
+let route ?(params = Engine.default_params) ?dist coupling circuit =
+  let dist = match dist with Some d -> d | None -> hop_distance coupling in
+  let bonus = Engine.zero_bonus in
+  let layout = Engine.find_layout params coupling ~dist ~bonus circuit in
+  let r = Engine.route_once params coupling ~dist ~bonus circuit layout in
+  {
+    circuit = Engine.to_circuit ~n_phys:(Coupling.n_qubits coupling) r.routed;
+    initial_layout = r.initial_layout;
+    final_layout = r.final_layout;
+    n_swaps = r.n_swaps;
+  }
+
+let decompose_swaps c =
+  let expand (i : Qcircuit.Circuit.instr) =
+    match (i.gate, i.qubits) with
+    | Gate.SWAP, [ a; b ] ->
+        [
+          { Qcircuit.Circuit.gate = Gate.CX; qubits = [ a; b ] };
+          { Qcircuit.Circuit.gate = Gate.CX; qubits = [ b; a ] };
+          { Qcircuit.Circuit.gate = Gate.CX; qubits = [ a; b ] };
+        ]
+    | _ -> [ i ]
+  in
+  Qcircuit.Circuit.create (Qcircuit.Circuit.n_qubits c)
+    (List.concat_map expand (Qcircuit.Circuit.instrs c))
+
+let check_routed coupling c =
+  List.for_all
+    (fun (i : Qcircuit.Circuit.instr) ->
+      match (Gate.is_two_qubit i.gate, i.qubits) with
+      | true, [ a; b ] -> Coupling.connected coupling a b
+      | _ -> true)
+    (Qcircuit.Circuit.instrs c)

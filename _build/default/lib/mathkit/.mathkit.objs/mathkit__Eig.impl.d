@@ -1,0 +1,1 @@
+lib/mathkit/eig.ml: Array Float

@@ -1,0 +1,1 @@
+lib/mathkit/euler.ml: Cx Float Mat

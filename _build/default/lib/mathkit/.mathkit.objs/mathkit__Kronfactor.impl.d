@@ -1,0 +1,1 @@
+lib/mathkit/kronfactor.ml: Cx Mat

@@ -1,0 +1,1 @@
+lib/mathkit/mat.ml: Array Cx Float Format List

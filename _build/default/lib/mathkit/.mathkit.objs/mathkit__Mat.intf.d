@@ -1,0 +1,1 @@
+lib/mathkit/mat.mli: Cx Format

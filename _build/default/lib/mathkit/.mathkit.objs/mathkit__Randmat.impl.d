@@ -1,0 +1,1 @@
+lib/mathkit/randmat.ml: Array Complex Cx Mat Rng

@@ -1,0 +1,1 @@
+lib/mathkit/randmat.mli: Mat Rng

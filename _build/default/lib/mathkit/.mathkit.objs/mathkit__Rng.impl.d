@@ -1,0 +1,1 @@
+lib/mathkit/rng.ml: Array Float Int64 List

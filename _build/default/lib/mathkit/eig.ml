@@ -1,0 +1,123 @@
+let mat_copy a = Array.map Array.copy a
+
+let off_diagonal_norm a =
+  let n = Array.length a in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then acc := !acc +. (a.(i).(j) *. a.(i).(j))
+    done
+  done;
+  sqrt !acc
+
+(* One Jacobi rotation zeroing a.(p).(q), accumulating into v. *)
+let rotate a v p q =
+  let apq = a.(p).(q) in
+  if Float.abs apq > 1e-300 then begin
+    let app = a.(p).(p) and aqq = a.(q).(q) in
+    let theta = (aqq -. app) /. (2.0 *. apq) in
+    let t =
+      let s = if theta >= 0.0 then 1.0 else -1.0 in
+      s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+    in
+    let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+    let s = t *. c in
+    let n = Array.length a in
+    for k = 0 to n - 1 do
+      let akp = a.(k).(p) and akq = a.(k).(q) in
+      a.(k).(p) <- (c *. akp) -. (s *. akq);
+      a.(k).(q) <- (s *. akp) +. (c *. akq)
+    done;
+    for k = 0 to n - 1 do
+      let apk = a.(p).(k) and aqk = a.(q).(k) in
+      a.(p).(k) <- (c *. apk) -. (s *. aqk);
+      a.(q).(k) <- (s *. apk) +. (c *. aqk)
+    done;
+    for k = 0 to n - 1 do
+      let vkp = v.(k).(p) and vkq = v.(k).(q) in
+      v.(k).(p) <- (c *. vkp) -. (s *. vkq);
+      v.(k).(q) <- (s *. vkp) +. (c *. vkq)
+    done
+  end
+
+let jacobi a0 =
+  let n = Array.length a0 in
+  let a = mat_copy a0 in
+  let v = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0)) in
+  let max_sweeps = 100 in
+  let rec sweep k =
+    if k < max_sweeps && off_diagonal_norm a > 1e-13 then begin
+      for p = 0 to n - 2 do
+        for q = p + 1 to n - 1 do
+          rotate a v p q
+        done
+      done;
+      sweep (k + 1)
+    end
+  in
+  sweep 0;
+  (Array.init n (fun i -> a.(i).(i)), v)
+
+(* p^T m p for orthogonal p. *)
+let conjugate_by m p =
+  let n = Array.length m in
+  let tmp = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (m.(i).(k) *. p.(k).(j))
+      done;
+      tmp.(i).(j) <- !acc
+    done
+  done;
+  let out = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (p.(k).(i) *. tmp.(k).(j))
+      done;
+      out.(i).(j) <- !acc
+    done
+  done;
+  out
+
+let simultaneous_diagonalize a b =
+  let n = Array.length a in
+  let vals, p = jacobi a in
+  (* Group indices whose a-eigenvalues coincide; within each degenerate
+     group, b (conjugated) is still symmetric and must be diagonalized. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare vals.(i) vals.(j)) order;
+  let p_sorted = Array.init n (fun i -> Array.init n (fun j -> p.(i).(order.(j)))) in
+  let vals_sorted = Array.map (fun i -> vals.(i)) order in
+  let b' = conjugate_by b p_sorted in
+  let result = mat_copy p_sorted in
+  let tol = 1e-7 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref (!i + 1) in
+    while !j < n && Float.abs (vals_sorted.(!j) -. vals_sorted.(!i)) < tol do
+      incr j
+    done;
+    let size = !j - !i in
+    if size > 1 then begin
+      (* diagonalize the (size x size) block of b' at offset !i *)
+      let block = Array.init size (fun r -> Array.init size (fun c -> b'.(!i + r).(!i + c))) in
+      let _, q = jacobi block in
+      (* result columns [!i .. !j-1] <- result_cols * q *)
+      let cols = Array.init n (fun r -> Array.init size (fun c -> result.(r).(!i + c))) in
+      for r = 0 to n - 1 do
+        for c = 0 to size - 1 do
+          let acc = ref 0.0 in
+          for k = 0 to size - 1 do
+            acc := !acc +. (cols.(r).(k) *. q.(k).(c))
+          done;
+          result.(r).(!i + c) <- !acc
+        done
+      done
+    end;
+    i := !j
+  done;
+  result

@@ -1,0 +1,21 @@
+(** Eigensolvers for small real symmetric matrices.
+
+    The KAK decomposition needs an orthogonal matrix that simultaneously
+    diagonalizes the (commuting) real and imaginary parts of a symmetric
+    unitary 4x4 matrix; both routines here serve that purpose.  Real
+    matrices are represented as [float array array] (rows). *)
+
+val jacobi : float array array -> float array * float array array
+(** [jacobi a] diagonalizes the real symmetric matrix [a] by cyclic Jacobi
+    sweeps.  Returns [(eigenvalues, v)] with [v] orthogonal, columns being
+    eigenvectors: [a = v . diag(eigenvalues) . v^T].  [a] is not modified. *)
+
+val simultaneous_diagonalize :
+  float array array -> float array array -> float array array
+(** [simultaneous_diagonalize a b] returns an orthogonal [p] such that both
+    [p^T a p] and [p^T b p] are diagonal.  Requires [a], [b] symmetric and
+    commuting (as in the KAK construction); degenerate eigenspaces of [a]
+    are re-diagonalized against [b]. *)
+
+val off_diagonal_norm : float array array -> float
+(** Frobenius norm of the strictly off-diagonal part; used in tests. *)

@@ -1,0 +1,166 @@
+type t = { r : int; c : int; m : Cx.t array }
+
+let rows a = a.r
+let cols a = a.c
+let make r c v = { r; c; m = Array.make (r * c) v }
+let init r c f = { r; c; m = Array.init (r * c) (fun k -> f (k / c) (k mod c)) }
+let zeros r c = make r c Cx.zero
+let identity n = init n n (fun i j -> if i = j then Cx.one else Cx.zero)
+
+let of_rows rows_ =
+  match rows_ with
+  | [] -> invalid_arg "Mat.of_rows: empty"
+  | first :: _ ->
+      let c = List.length first in
+      let r = List.length rows_ in
+      if List.exists (fun row -> List.length row <> c) rows_ then
+        invalid_arg "Mat.of_rows: ragged rows";
+      let m = Array.make (r * c) Cx.zero in
+      List.iteri (fun i row -> List.iteri (fun j v -> m.((i * c) + j) <- v) row) rows_;
+      { r; c; m }
+
+let of_real_rows rows_ = of_rows (List.map (List.map Cx.re) rows_)
+let get a i j = a.m.((i * a.c) + j)
+let set a i j v = a.m.((i * a.c) + j) <- v
+let copy a = { a with m = Array.copy a.m }
+
+let same_shape a b op =
+  if a.r <> b.r || a.c <> b.c then invalid_arg ("Mat." ^ op ^ ": shape mismatch")
+
+let add a b =
+  same_shape a b "add";
+  { a with m = Array.mapi (fun k v -> Cx.(v + b.m.(k))) a.m }
+
+let sub a b =
+  same_shape a b "sub";
+  { a with m = Array.mapi (fun k v -> Cx.(v - b.m.(k))) a.m }
+
+let scale z a = { a with m = Array.map (fun v -> Cx.(z * v)) a.m }
+
+let mul a b =
+  if a.c <> b.r then invalid_arg "Mat.mul: shape mismatch";
+  let out = make a.r b.c Cx.zero in
+  for i = 0 to a.r - 1 do
+    for k = 0 to a.c - 1 do
+      let aik = get a i k in
+      if not (Cx.is_zero ~eps:0.0 aik) then
+        for j = 0 to b.c - 1 do
+          let cur = get out i j and bkj = get b k j in
+          set out i j Cx.(cur + (aik * bkj))
+        done
+    done
+  done;
+  out
+
+let kron a b =
+  init (a.r * b.r) (a.c * b.c) (fun i j ->
+      let x = get a (i / b.r) (j / b.c) and y = get b (i mod b.r) (j mod b.c) in
+      Cx.(x * y))
+
+let transpose a = init a.c a.r (fun i j -> get a j i)
+let conj a = { a with m = Array.map Cx.conj a.m }
+let adjoint a = init a.c a.r (fun i j -> Cx.conj (get a j i))
+
+let trace a =
+  let n = min a.r a.c in
+  let acc = ref Cx.zero in
+  for i = 0 to n - 1 do
+    let d = get a i i in
+    acc := Cx.(!acc + d)
+  done;
+  !acc
+
+let det a =
+  if a.r <> a.c then invalid_arg "Mat.det: not square";
+  let n = a.r in
+  let w = copy a in
+  let sign = ref 1.0 in
+  let result = ref Cx.one in
+  (try
+     for col = 0 to n - 1 do
+       (* partial pivot *)
+       let pivot = ref col in
+       for i = col + 1 to n - 1 do
+         if Cx.abs (get w i col) > Cx.abs (get w !pivot col) then pivot := i
+       done;
+       if Cx.abs (get w !pivot col) < 1e-300 then begin
+         result := Cx.zero;
+         raise Exit
+       end;
+       if !pivot <> col then begin
+         sign := -. !sign;
+         for j = 0 to n - 1 do
+           let tmp = get w col j in
+           set w col j (get w !pivot j);
+           set w !pivot j tmp
+         done
+       end;
+       let d = get w col col in
+       result := Cx.(!result * d);
+       for i = col + 1 to n - 1 do
+         let num = get w i col in
+         let factor = Cx.(num / d) in
+         for j = col to n - 1 do
+           let cur = get w i j and piv = get w col j in
+           set w i j Cx.(cur - (factor * piv))
+         done
+       done
+     done
+   with Exit -> ());
+  Cx.scale !sign !result
+
+let apply_vec a v =
+  if a.c <> Array.length v then invalid_arg "Mat.apply_vec: shape mismatch";
+  Array.init a.r (fun i ->
+      let acc = ref Cx.zero in
+      for j = 0 to a.c - 1 do
+        let x = get a i j and y = v.(j) in
+        acc := Cx.(!acc + (x * y))
+      done;
+      !acc)
+
+let frobenius_distance a b =
+  same_shape a b "frobenius_distance";
+  let acc = ref 0.0 in
+  Array.iteri (fun k v -> acc := !acc +. Cx.abs2 Cx.(v - b.m.(k))) a.m;
+  sqrt !acc
+
+let approx_equal ?(eps = 1e-9) a b =
+  a.r = b.r && a.c = b.c && frobenius_distance a b <= eps *. float_of_int (a.r * a.c)
+
+let phase_to a b =
+  if a.r <> b.r || a.c <> b.c then None
+  else begin
+    (* Use the largest entry of b as the phase reference to stay away from
+       numerical noise. *)
+    let best = ref 0 in
+    Array.iteri (fun k v -> if Cx.abs v > Cx.abs b.m.(!best) then best := k) b.m;
+    if Cx.abs b.m.(!best) < 1e-9 then if approx_equal a b then Some Cx.one else None
+    else
+      let z = Cx.(a.m.(!best) / b.m.(!best)) in
+      if Float.abs (Cx.abs z -. 1.0) > 1e-6 then None
+      else
+        let scaled = scale z b in
+        if frobenius_distance a scaled <= 1e-6 *. float_of_int (a.r * a.c) then Some z
+        else None
+  end
+
+let equal_up_to_phase ?eps a b =
+  ignore eps;
+  match phase_to a b with Some _ -> true | None -> false
+
+let is_unitary ?(eps = 1e-9) a =
+  a.r = a.c && approx_equal ~eps (mul (adjoint a) a) (identity a.r)
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to a.r - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to a.c - 1 do
+      if j > 0 then Format.fprintf ppf ", ";
+      Cx.pp ppf (get a i j)
+    done;
+    Format.fprintf ppf "]";
+    if i < a.r - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,58 @@
+(** Dense complex matrices.
+
+    Sizes here are tiny (2x2 and 4x4 dominate: gate unitaries and two-qubit
+    blocks), so the representation is a flat row-major array with
+    straightforward O(n^3) kernels.  Statevectors live in {!Qsim}, not here. *)
+
+type t
+
+val rows : t -> int
+val cols : t -> int
+
+val make : int -> int -> Cx.t -> t
+val init : int -> int -> (int -> int -> Cx.t) -> t
+val identity : int -> t
+val zeros : int -> int -> t
+
+val of_rows : Cx.t list list -> t
+(** Build from row lists.  @raise Invalid_argument on ragged input. *)
+
+val of_real_rows : float list list -> t
+
+val get : t -> int -> int -> Cx.t
+val set : t -> int -> int -> Cx.t -> unit
+val copy : t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : Cx.t -> t -> t
+val kron : t -> t -> t
+val transpose : t -> t
+val conj : t -> t
+val adjoint : t -> t
+(** Conjugate transpose. *)
+
+val trace : t -> Cx.t
+val det : t -> Cx.t
+(** Determinant by LU with partial pivoting. *)
+
+val apply_vec : t -> Cx.t array -> Cx.t array
+(** Matrix-vector product. *)
+
+val frobenius_distance : t -> t -> float
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** Entry-wise closeness. *)
+
+val equal_up_to_phase : ?eps:float -> t -> t -> bool
+(** [equal_up_to_phase a b] holds when [a = e^{i phi} b] for some global
+    phase [phi].  This is the right notion of equality for circuit
+    unitaries. *)
+
+val is_unitary : ?eps:float -> t -> bool
+
+val phase_to : t -> t -> Cx.t option
+(** [phase_to a b] returns [Some z], [z] unit modulus, when [a = z b]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+let ginibre rng n =
+  Mat.init n n (fun _ _ -> Cx.make (Rng.gaussian rng) (Rng.gaussian rng))
+
+(* Gram-Schmidt QR; columns of q are orthonormal.  R's diagonal phases are
+   divided out so the distribution is Haar (Mezzadri 2007). *)
+let unitary rng n =
+  let a = ginibre rng n in
+  let cols = Array.init n (fun j -> Array.init n (fun i -> Mat.get a i j)) in
+  let dot u v =
+    let acc = ref Cx.zero in
+    for i = 0 to n - 1 do
+      let x = Cx.conj u.(i) and y = v.(i) in
+      acc := Cx.(!acc + (x * y))
+    done;
+    !acc
+  in
+  for j = 0 to n - 1 do
+    for k = 0 to j - 1 do
+      let c = dot cols.(k) cols.(j) in
+      for row = 0 to n - 1 do
+        let p = cols.(k).(row) and v = cols.(j).(row) in
+        cols.(j).(row) <- Cx.(v - (c * p))
+      done
+    done;
+    let nrm = sqrt (dot cols.(j) cols.(j)).Complex.re in
+    let nrm = if nrm = 0.0 then 1.0 else nrm in
+    (* normalize and fix the phase of the leading entry *)
+    let lead = cols.(j).(0) in
+    let phase = if Cx.abs lead < 1e-12 then Cx.one else Cx.scale (1.0 /. Cx.abs lead) lead in
+    let divisor = Cx.scale nrm phase in
+    for row = 0 to n - 1 do
+      let v = cols.(j).(row) in
+      cols.(j).(row) <- Cx.(v / divisor)
+    done
+  done;
+  Mat.init n n (fun i j -> cols.(j).(i))
+
+let special u =
+  let n = Mat.rows u in
+  let d = Mat.det u in
+  (* divide by the n-th root of the determinant *)
+  let theta = Cx.arg d /. float_of_int n in
+  Mat.scale (Cx.exp_i (-.theta)) u
+
+let su2 rng = special (unitary rng 2)
+let su4 rng = special (unitary rng 4)

@@ -1,0 +1,14 @@
+(** Random matrices for property-based testing and synthetic workloads. *)
+
+val ginibre : Rng.t -> int -> Mat.t
+(** Square matrix of i.i.d. standard complex Gaussians. *)
+
+val unitary : Rng.t -> int -> Mat.t
+(** Haar-distributed random unitary (QR of a Ginibre matrix with the phase
+    convention fixed, Mezzadri 2007). *)
+
+val su2 : Rng.t -> Mat.t
+(** Haar-random 2x2 special unitary. *)
+
+val su4 : Rng.t -> Mat.t
+(** Haar-random 4x4 special unitary. *)

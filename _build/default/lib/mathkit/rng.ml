@@ -1,0 +1,52 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64: passes BigCrush, tiny state, trivially splittable. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let split t = { state = next_int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the Int64 -> int conversion stays non-negative *)
+  let v = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
+  v mod bound
+
+let float t bound =
+  (* 53 high bits -> uniform double in [0,1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let gaussian t =
+  let rec draw () =
+    let u = float t 1.0 in
+    if u <= 1e-300 then draw () else u
+  in
+  let u1 = draw () and u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))

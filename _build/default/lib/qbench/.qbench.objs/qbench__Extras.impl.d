@@ -1,0 +1,1 @@
+lib/qbench/extras.ml: Float Gate Hashtbl List Mathkit Qcircuit Qgate Suite

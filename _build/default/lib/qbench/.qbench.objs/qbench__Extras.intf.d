@@ -1,0 +1,1 @@
+lib/qbench/extras.mli: Qcircuit Suite

@@ -1,0 +1,1 @@
+lib/qbench/generators.ml: Array Float Gate List Mathkit Qcircuit Qgate

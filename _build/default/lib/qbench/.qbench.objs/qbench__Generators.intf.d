@@ -1,0 +1,1 @@
+lib/qbench/generators.mli: Qcircuit

@@ -1,0 +1,1 @@
+lib/qbench/revlib_like.ml: Array Gate Mathkit Qcircuit Qgate

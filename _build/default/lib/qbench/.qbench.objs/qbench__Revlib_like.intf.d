@@ -1,0 +1,1 @@
+lib/qbench/revlib_like.mli: Qcircuit

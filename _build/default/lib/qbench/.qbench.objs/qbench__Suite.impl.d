@@ -1,0 +1,1 @@
+lib/qbench/suite.ml: Generators List Qcircuit Revlib_like

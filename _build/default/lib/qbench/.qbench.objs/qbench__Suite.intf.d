@@ -1,0 +1,1 @@
+lib/qbench/suite.mli: Qcircuit

@@ -1,0 +1,188 @@
+open Qgate
+
+let pi = Float.pi
+
+let all_qubits n = List.init n (fun i -> i)
+
+let mcz_or_cz b qs =
+  match qs with
+  | [ a; c ] -> Qcircuit.Circuit.Builder.add b Gate.CZ [ a; c ]
+  | [ a ] -> Qcircuit.Circuit.Builder.add b Gate.Z [ a ]
+  | qs -> Qcircuit.Circuit.Builder.add b (Gate.MCZ (List.length qs - 1)) qs
+
+let grover n =
+  let b = Qcircuit.Circuit.Builder.create n in
+  let iterations = if n <= 4 then 3 else 1 in
+  let layer g = List.iter (fun q -> Qcircuit.Circuit.Builder.add b g [ q ]) (all_qubits n) in
+  layer Gate.H;
+  for _ = 1 to iterations do
+    (* oracle: phase flip on |1...1> *)
+    mcz_or_cz b (all_qubits n);
+    (* diffusion *)
+    layer Gate.H;
+    layer Gate.X;
+    mcz_or_cz b (all_qubits n);
+    layer Gate.X;
+    layer Gate.H
+  done;
+  Qcircuit.Circuit.Builder.circuit b
+
+let vqe n =
+  let rng = Mathkit.Rng.create (1000 + n) in
+  let b = Qcircuit.Circuit.Builder.create n in
+  let ry_layer () =
+    List.iter
+      (fun q ->
+        Qcircuit.Circuit.Builder.add b (Gate.RY (Mathkit.Rng.float rng (2.0 *. pi))) [ q ])
+      (all_qubits n)
+  in
+  for _ = 1 to 3 do
+    ry_layer ();
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        Qcircuit.Circuit.Builder.add b Gate.CX [ i; j ]
+      done
+    done
+  done;
+  ry_layer ();
+  Qcircuit.Circuit.Builder.circuit b
+
+let bernstein_vazirani n =
+  let b = Qcircuit.Circuit.Builder.create n in
+  let anc = n - 1 in
+  List.iter (fun q -> Qcircuit.Circuit.Builder.add b Gate.H [ q ]) (all_qubits (n - 1));
+  Qcircuit.Circuit.Builder.add b Gate.X [ anc ];
+  Qcircuit.Circuit.Builder.add b Gate.H [ anc ];
+  (* all-ones secret *)
+  for q = 0 to n - 2 do
+    Qcircuit.Circuit.Builder.add b Gate.CX [ q; anc ]
+  done;
+  List.iter (fun q -> Qcircuit.Circuit.Builder.add b Gate.H [ q ]) (all_qubits (n - 1));
+  Qcircuit.Circuit.Builder.circuit b
+
+let qft n =
+  let b = Qcircuit.Circuit.Builder.create n in
+  for i = 0 to n - 1 do
+    Qcircuit.Circuit.Builder.add b Gate.H [ i ];
+    for j = i + 1 to n - 1 do
+      let angle = pi /. float_of_int (1 lsl (j - i)) in
+      Qcircuit.Circuit.Builder.add b (Gate.CP angle) [ j; i ]
+    done
+  done;
+  Qcircuit.Circuit.Builder.circuit b
+
+let inverse_qft_on b qs =
+  (* inverse of the [qft] structure restricted to the listed qubits *)
+  let arr = Array.of_list qs in
+  let n = Array.length arr in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      let angle = -.pi /. float_of_int (1 lsl (j - i)) in
+      Qcircuit.Circuit.Builder.add b (Gate.CP angle) [ arr.(j); arr.(i) ]
+    done;
+    Qcircuit.Circuit.Builder.add b Gate.H [ arr.(i) ]
+  done
+
+(* With counting qubit k controlling P(theta * 2^k) and the inverse of the
+   [qft] pattern above, the estimate reads out on the counting register with
+   qubit 0 as the most significant bit (validated in the test suite against
+   an exactly representable phase). *)
+let qpe n =
+  let t = n - 1 in
+  let eigen = n - 1 in
+  let b = Qcircuit.Circuit.Builder.create n in
+  (* eigenstate |1> of P(theta) *)
+  Qcircuit.Circuit.Builder.add b Gate.X [ eigen ];
+  List.iter (fun q -> Qcircuit.Circuit.Builder.add b Gate.H [ q ]) (all_qubits t);
+  let theta = 2.0 *. pi *. 0.3203125 in
+  for k = 0 to t - 1 do
+    let angle = theta *. float_of_int (1 lsl k) in
+    Qcircuit.Circuit.Builder.add b (Gate.CP angle) [ k; eigen ]
+  done;
+  inverse_qft_on b (all_qubits t);
+  Qcircuit.Circuit.Builder.circuit b
+
+(* Cuccaro ripple-carry adder: qubits [cin; a0..ak-1; b0..bk-1; cout] *)
+let adder n_qubits =
+  if n_qubits < 4 || n_qubits mod 2 <> 0 then
+    invalid_arg "Generators.adder: needs 2k + 2 qubits";
+  let k = (n_qubits - 2) / 2 in
+  let cin = 0 and cout = n_qubits - 1 in
+  let a i = 1 + i and bq i = 1 + k + i in
+  let b = Qcircuit.Circuit.Builder.create n_qubits in
+  let maj c x y =
+    Qcircuit.Circuit.Builder.add b Gate.CX [ y; x ];
+    Qcircuit.Circuit.Builder.add b Gate.CX [ y; c ];
+    Qcircuit.Circuit.Builder.add b Gate.CCX [ c; x; y ]
+  in
+  let uma c x y =
+    Qcircuit.Circuit.Builder.add b Gate.CCX [ c; x; y ];
+    Qcircuit.Circuit.Builder.add b Gate.CX [ y; c ];
+    Qcircuit.Circuit.Builder.add b Gate.CX [ c; x ]
+  in
+  (* prepare some inputs so the adder computes something nontrivial *)
+  for i = 0 to k - 1 do
+    if i mod 2 = 0 then Qcircuit.Circuit.Builder.add b Gate.X [ a i ];
+    if i mod 3 = 0 then Qcircuit.Circuit.Builder.add b Gate.X [ bq i ]
+  done;
+  maj cin (bq 0) (a 0);
+  for i = 1 to k - 1 do
+    maj (a (i - 1)) (bq i) (a i)
+  done;
+  Qcircuit.Circuit.Builder.add b Gate.CX [ a (k - 1); cout ];
+  for i = k - 1 downto 1 do
+    uma (a (i - 1)) (bq i) (a i)
+  done;
+  uma cin (bq 0) (a 0);
+  Qcircuit.Circuit.Builder.circuit b
+
+(* Shift-and-add multiplier with a truncated product register:
+   [cin; a(k); b(k); temp(k); prod(p)] where p = n - 3k - 1. *)
+let multiplier n_qubits =
+  let k = (n_qubits - 1) / 5 in
+  let p = n_qubits - 1 - (3 * k) in
+  if k < 2 || p < k + 1 then invalid_arg "Generators.multiplier: too few qubits";
+  let cin = 0 in
+  let a i = 1 + i and bq i = 1 + k + i and temp i = 1 + (2 * k) + i in
+  let prod i = 1 + (3 * k) + i in
+  let b = Qcircuit.Circuit.Builder.create n_qubits in
+  let add_cx x y = Qcircuit.Circuit.Builder.add b Gate.CX [ x; y ] in
+  let add_ccx x y z = Qcircuit.Circuit.Builder.add b Gate.CCX [ x; y; z ] in
+  (* inputs *)
+  for i = 0 to k - 1 do
+    if i mod 2 = 0 then Qcircuit.Circuit.Builder.add b Gate.X [ a i ];
+    if i mod 2 = 1 then Qcircuit.Circuit.Builder.add b Gate.X [ bq i ]
+  done;
+  (* for each bit i of b: temp := a AND b_i; prod[i..] += temp; uncompute *)
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      add_ccx (bq i) (a j) (temp j)
+    done;
+    (* ripple add temp into the product window starting at bit i *)
+    let width = min k (p - i - 1) in
+    if width > 0 then begin
+      let maj c x y =
+        add_cx y x;
+        add_cx y c;
+        add_ccx c x y
+      in
+      let uma c x y =
+        add_ccx c x y;
+        add_cx y c;
+        add_cx c x
+      in
+      maj cin (prod i) (temp 0);
+      for j = 1 to width - 1 do
+        maj (temp (j - 1)) (prod (i + j)) (temp j)
+      done;
+      add_cx (temp (width - 1)) (prod (i + width));
+      for j = width - 1 downto 1 do
+        uma (temp (j - 1)) (prod (i + j)) (temp j)
+      done;
+      uma cin (prod i) (temp 0)
+    end;
+    for j = k - 1 downto 0 do
+      add_ccx (bq i) (a j) (temp j)
+    done
+  done;
+  Qcircuit.Circuit.Builder.circuit b

@@ -1,0 +1,41 @@
+(** The algorithmic benchmark circuits of the paper's evaluation (Table I),
+    built from their textbook definitions (Nielsen-Chuang / Qiskit).
+
+    Gate-count calibration notes (original-circuit CNOT totals after
+    lowering, vs. the paper's CNOT_total column):
+    - [vqe n] with full entanglement and 3 repetitions gives n(n-1)/2 * 3
+      CNOTs: 84 at n=8 and 198 at n=12, matching the paper exactly.
+    - [bv 19] with the all-ones secret gives 18 CNOTs, matching exactly.
+    - [qft n] gives n(n-1) CNOTs: 210 at n=15 (exact) and 380 at n=20
+      (paper reports 374 after optimization).
+    - [grover 4] with 3 iterations gives 84 CNOTs, matching exactly;
+      larger sizes use one iteration.
+    - [adder] (4-bit Cuccaro, 10 qubits) gives 65 CNOTs, matching exactly. *)
+
+val grover : int -> Qcircuit.Circuit.t
+(** [grover n]: n-qubit Grover search marking the all-ones state, with
+    3 iterations at n = 4 and 1 iteration for larger n. *)
+
+val vqe : int -> Qcircuit.Circuit.t
+(** Hardware-efficient ansatz, RY layers with full (all-pairs) CX
+    entanglement, 3 repetitions; angles drawn from a fixed seed. *)
+
+val bernstein_vazirani : int -> Qcircuit.Circuit.t
+(** [bernstein_vazirani n]: n qubits total (n-1 data + oracle ancilla),
+    all-ones secret string. *)
+
+val qft : int -> Qcircuit.Circuit.t
+(** Standard quantum Fourier transform (no final swaps). *)
+
+val qpe : int -> Qcircuit.Circuit.t
+(** [qpe n]: phase estimation with n-1 counting qubits and one eigenstate
+    qubit; estimates the phase of a fixed P gate. *)
+
+val adder : int -> Qcircuit.Circuit.t
+(** [adder n_qubits]: Cuccaro ripple-carry adder; [n_qubits = 2k + 2] for
+    two k-bit operands. *)
+
+val multiplier : int -> Qcircuit.Circuit.t
+(** [multiplier n_qubits]: shift-and-add multiplier (partial products via
+    Toffolis, accumulation via controlled ripple adds).  25 qubits hosts
+    5-bit x 5-bit with a truncated 9-bit product, as in the paper's row. *)

@@ -1,0 +1,35 @@
+open Qgate
+
+(* CNOT cost of an MCT with k controls when lowered by the Gray-code
+   construction (see Qgate.Decompose): 2^{k+1} - 2, except plain CX. *)
+let mct_cx_cost k = if k <= 1 then k else (1 lsl (k + 1)) - 2
+
+let mct_netlist ~seed ~n ~target_cx =
+  let rng = Mathkit.Rng.create seed in
+  let b = Qcircuit.Circuit.Builder.create n in
+  let spent = ref 0 in
+  while !spent < target_cx do
+    (* RevLib circuits are dominated by 2-3 control Toffolis with occasional
+       wider gates and sprinkled NOT/CNOT *)
+    let k =
+      match Mathkit.Rng.int rng 10 with
+      | 0 -> 0 (* x *)
+      | 1 | 2 -> 1 (* cx *)
+      | 3 | 4 | 5 | 6 -> 2
+      | 7 | 8 -> 3
+      | _ -> min 4 (n - 2)
+    in
+    let qubits = Array.to_list (Array.sub (Mathkit.Rng.permutation rng n) 0 (k + 1)) in
+    (match (k, qubits) with
+    | 0, [ t ] -> Qcircuit.Circuit.Builder.add b Gate.X [ t ]
+    | 1, [ c; t ] -> Qcircuit.Circuit.Builder.add b Gate.CX [ c; t ]
+    | 2, qs -> Qcircuit.Circuit.Builder.add b Gate.CCX qs
+    | k, qs -> Qcircuit.Circuit.Builder.add b (Gate.MCX k) qs);
+    spent := !spent + mct_cx_cost k
+  done;
+  Qcircuit.Circuit.Builder.circuit b
+
+let sqn_258 () = mct_netlist ~seed:258 ~n:10 ~target_cx:4459
+let rd84_253 () = mct_netlist ~seed:253 ~n:12 ~target_cx:5960
+let co14_215 () = mct_netlist ~seed:215 ~n:15 ~target_cx:7840
+let sym9_193 () = mct_netlist ~seed:193 ~n:11 ~target_cx:15232

@@ -1,0 +1,22 @@
+(** Stand-ins for the RevLib reversible-logic benchmarks.
+
+    The paper evaluates four RevLib circuits (sqn_258, rd84_253, co14_215,
+    sym9_193), which are netlists of multi-controlled Toffoli (MCT) gates.
+    The original files are not redistributable here, so each stand-in is a
+    deterministic, seeded MCT netlist with the same width and with a
+    CNOT_total (after lowering) within a few percent of the paper's
+    original-circuit column.  Routing pressure comes from the MCT network
+    structure, which these reproduce.
+
+    Paper CNOT_total targets: sqn_258 -> 4459 (10 qubits),
+    rd84_253 -> 5960 (12), co14_215 -> 7840 (15), sym9_193 -> 15232 (11). *)
+
+val mct_netlist :
+  seed:int -> n:int -> target_cx:int -> Qcircuit.Circuit.t
+(** Random reversible netlist of NOT/CNOT/MCT gates whose lowered CNOT
+    count approximates [target_cx] (stops when reached). *)
+
+val sqn_258 : unit -> Qcircuit.Circuit.t
+val rd84_253 : unit -> Qcircuit.Circuit.t
+val co14_215 : unit -> Qcircuit.Circuit.t
+val sym9_193 : unit -> Qcircuit.Circuit.t

@@ -1,0 +1,18 @@
+(** The benchmark registry used by the experiment harness. *)
+
+type entry = {
+  name : string;  (** paper row name *)
+  n_qubits : int;
+  build : unit -> Qcircuit.Circuit.t;
+  heavy : bool;  (** RevLib-scale circuit: fewer seeds per run by default *)
+  noise_subset : bool;  (** included in the Figure 11 noise experiments *)
+}
+
+val paper_suite : entry list
+(** The fifteen benchmarks of Tables I-IV, in paper order. *)
+
+val find : string -> entry
+(** @raise Not_found for unknown names. *)
+
+val small_suite : entry list
+(** The non-heavy entries; handy for quick runs and tests. *)

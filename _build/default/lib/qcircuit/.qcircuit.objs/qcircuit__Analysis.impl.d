@@ -1,0 +1,1 @@
+lib/qcircuit/analysis.ml: Array Circuit Gate Hashtbl List Option Qgate

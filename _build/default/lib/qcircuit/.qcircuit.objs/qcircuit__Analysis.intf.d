@@ -1,0 +1,1 @@
+lib/qcircuit/analysis.mli: Circuit Hashtbl

@@ -1,0 +1,1 @@
+lib/qcircuit/circuit.ml: Array Cx Format Gate List Mat Mathkit Printf Qgate String Unitary

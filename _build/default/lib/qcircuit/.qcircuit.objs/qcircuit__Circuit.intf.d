@@ -1,0 +1,1 @@
+lib/qcircuit/circuit.mli: Format Mathkit Qgate

@@ -1,0 +1,1 @@
+lib/qcircuit/dag.ml: Array Circuit Hashtbl List Qgate Queue

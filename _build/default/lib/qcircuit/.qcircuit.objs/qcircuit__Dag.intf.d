@@ -1,0 +1,1 @@
+lib/qcircuit/dag.mli: Circuit Qgate

@@ -1,0 +1,1 @@
+lib/qcircuit/qasm.ml: Buffer Circuit Gate List Printf Qgate String

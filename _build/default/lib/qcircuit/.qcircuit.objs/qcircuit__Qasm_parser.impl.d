@@ -1,0 +1,1 @@
+lib/qcircuit/qasm_parser.ml: Buffer Circuit Float List Printf Qgate String

@@ -1,0 +1,1 @@
+lib/qcircuit/qasm_parser.mli: Circuit

@@ -1,0 +1,94 @@
+open Qgate
+
+let is_barrier (i : Circuit.instr) = match i.gate with Gate.Barrier _ -> true | _ -> false
+
+let gate_histogram c =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (i : Circuit.instr) ->
+      let k = Gate.name i.gate in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    (Circuit.instrs c);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let interaction_graph c =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (i : Circuit.instr) ->
+      if Gate.is_two_qubit i.gate then
+        match i.qubits with
+        | [ a; b ] ->
+            let k = (min a b, max a b) in
+            Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+        | _ -> ())
+    (Circuit.instrs c);
+  tbl
+
+let interaction_degree c =
+  let deg = Array.make (max 1 (Circuit.n_qubits c)) 0 in
+  List.iter
+    (fun (i : Circuit.instr) ->
+      if Gate.is_two_qubit i.gate then List.iter (fun q -> deg.(q) <- deg.(q) + 1) i.qubits)
+    (Circuit.instrs c);
+  deg
+
+(* ASAP level of each instruction *)
+let levels c =
+  let wire = Array.make (max 1 (Circuit.n_qubits c)) 0 in
+  List.map
+    (fun (i : Circuit.instr) ->
+      if is_barrier i then -1
+      else begin
+        let l = 1 + List.fold_left (fun acc q -> max acc wire.(q)) 0 i.qubits in
+        List.iter (fun q -> wire.(q) <- l) i.qubits;
+        l
+      end)
+    (Circuit.instrs c)
+
+let parallelism_profile c =
+  let ls = levels c in
+  let d = List.fold_left max 0 ls in
+  let profile = Array.make d 0 in
+  List.iter (fun l -> if l >= 1 then profile.(l - 1) <- profile.(l - 1) + 1) ls;
+  profile
+
+let critical_path c =
+  let instrs = Array.of_list (Circuit.instrs c) in
+  let ls = Array.of_list (levels c) in
+  let depth = Array.fold_left max 0 ls in
+  if depth = 0 then []
+  else begin
+    (* walk back from a deepest instruction through per-wire predecessors *)
+    let path = ref [] in
+    let target = ref (-1) in
+    Array.iteri (fun idx l -> if l = depth && !target = -1 then target := idx) ls;
+    let cur = ref !target in
+    while !cur >= 0 do
+      path := !cur :: !path;
+      let want = ls.(!cur) - 1 in
+      let found = ref (-1) in
+      if want >= 1 then
+        for j = !cur - 1 downto 0 do
+          if
+            !found = -1 && ls.(j) = want
+            && List.exists (fun q -> List.mem q instrs.(!cur).Circuit.qubits) instrs.(j).Circuit.qubits
+          then found := j
+        done;
+      cur := !found
+    done;
+    !path
+  end
+
+let two_qubit_layers c =
+  let wire = Array.make (max 1 (Circuit.n_qubits c)) 0 in
+  let out = ref 0 in
+  List.iter
+    (fun (i : Circuit.instr) ->
+      if Gate.is_two_qubit i.gate then begin
+        let l = 1 + List.fold_left (fun acc q -> max acc wire.(q)) 0 i.qubits in
+        List.iter (fun q -> wire.(q) <- l) i.qubits;
+        if l > !out then out := l
+      end)
+    (Circuit.instrs c);
+  !out

@@ -1,0 +1,25 @@
+(** Static circuit analyses used by layout heuristics, reports and
+    examples. *)
+
+val gate_histogram : Circuit.t -> (string * int) list
+(** Gate-name counts, sorted by decreasing frequency. *)
+
+val interaction_graph : Circuit.t -> (int * int, int) Hashtbl.t
+(** Two-qubit interaction multiplicities keyed by normalized (lo, hi)
+    pairs: how many 2q gates act on each logical pair.  This is the
+    "logical circuit topology" the paper's Section I refers to. *)
+
+val interaction_degree : Circuit.t -> int array
+(** Per-qubit count of two-qubit gates it participates in. *)
+
+val parallelism_profile : Circuit.t -> int array
+(** Number of non-barrier ops scheduled at each ASAP depth level (length =
+    circuit depth). *)
+
+val critical_path : Circuit.t -> int list
+(** Instruction indices of one longest dependency chain (ASAP layering),
+    earliest first. *)
+
+val two_qubit_layers : Circuit.t -> int
+(** Depth counting only two-qubit gates: a common proxy for execution time
+    on hardware where CX dominates. *)

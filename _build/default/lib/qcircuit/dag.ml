@@ -1,0 +1,118 @@
+type node = {
+  id : int;
+  gate : Qgate.Gate.t;
+  qubits : int list;
+  preds : (int * int) list;
+  succs : (int * int) list;
+}
+
+type t = { n : int; arr : node array }
+
+let of_circuit c =
+  let instrs = Array.of_list (Circuit.instrs c) in
+  let n = Circuit.n_qubits c in
+  let last = Array.make n (-1) in
+  let preds = Array.make (Array.length instrs) [] in
+  let succs = Array.make (Array.length instrs) [] in
+  Array.iteri
+    (fun id (i : Circuit.instr) ->
+      List.iter
+        (fun q ->
+          if last.(q) >= 0 then begin
+            preds.(id) <- (q, last.(q)) :: preds.(id);
+            succs.(last.(q)) <- (q, id) :: succs.(last.(q))
+          end;
+          last.(q) <- id)
+        i.qubits)
+    instrs;
+  let arr =
+    Array.mapi
+      (fun id (i : Circuit.instr) ->
+        { id; gate = i.gate; qubits = i.qubits; preds = List.rev preds.(id); succs = List.rev succs.(id) })
+      instrs
+  in
+  { n; arr }
+
+let n_qubits d = d.n
+let n_nodes d = Array.length d.arr
+let node d i = d.arr.(i)
+let nodes d = d.arr
+
+let to_circuit d =
+  Circuit.create d.n
+    (Array.to_list (Array.map (fun nd -> { Circuit.gate = nd.gate; qubits = nd.qubits }) d.arr))
+
+let pred_on d id q = List.assoc_opt q d.arr.(id).preds
+let succ_on d id q = List.assoc_opt q d.arr.(id).succs
+
+let first_on_wire d q =
+  let best = ref None in
+  Array.iter
+    (fun nd ->
+      if !best = None && List.mem q nd.qubits && List.assoc_opt q nd.preds = None then
+        best := Some nd.id)
+    d.arr;
+  !best
+
+let distinct l = List.sort_uniq compare l
+let pred_ids d id = distinct (List.map snd d.arr.(id).preds)
+let succ_ids d id = distinct (List.map snd d.arr.(id).succs)
+
+module Traversal = struct
+  type dag = t
+
+  type t = {
+    dag : dag;
+    indeg : int array;
+    done_ : bool array;
+    mutable front_ : int list;
+    mutable n_done : int;
+  }
+
+  let create dag =
+    let n = Array.length dag.arr in
+    let indeg = Array.map (fun nd -> List.length (distinct (List.map snd nd.preds))) dag.arr in
+    let front_ = ref [] in
+    Array.iteri (fun i d -> if d = 0 then front_ := i :: !front_) indeg;
+    { dag; indeg; done_ = Array.make n false; front_ = List.rev !front_; n_done = 0 }
+
+  let front t = t.front_
+
+  let execute t id =
+    if not (List.mem id t.front_) then invalid_arg "Dag.Traversal.execute: node not ready";
+    t.front_ <- List.filter (fun x -> x <> id) t.front_;
+    t.done_.(id) <- true;
+    t.n_done <- t.n_done + 1;
+    let promoted = ref [] in
+    List.iter
+      (fun s ->
+        t.indeg.(s) <- t.indeg.(s) - 1;
+        if t.indeg.(s) = 0 then promoted := s :: !promoted)
+      (succ_ids t.dag id);
+    t.front_ <- t.front_ @ List.rev !promoted
+
+  let finished t = t.n_done = Array.length t.dag.arr
+  let executed_count t = t.n_done
+
+  let lookahead t k =
+    (* BFS forward from the front layer, collecting 2q gates in dependency
+       order, without mutating traversal state. *)
+    let seen = Hashtbl.create 64 in
+    let out = ref [] in
+    let count = ref 0 in
+    let queue = Queue.create () in
+    List.iter (fun id -> List.iter (fun s -> Queue.add s queue) (succ_ids t.dag id)) t.front_;
+    while !count < k && not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        let nd = t.dag.arr.(id) in
+        if (not t.done_.(id)) && Qgate.Gate.is_two_qubit nd.gate then begin
+          out := id :: !out;
+          incr count
+        end;
+        List.iter (fun s -> Queue.add s queue) (succ_ids t.dag id)
+      end
+    done;
+    List.rev !out
+end

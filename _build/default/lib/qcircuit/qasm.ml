@@ -1,0 +1,31 @@
+open Qgate
+
+let gate_text (g : Gate.t) qubits =
+  let qs = String.concat "," (List.map (Printf.sprintf "q[%d]") qubits) in
+  match g with
+  | Gate.RX a | Gate.RY a | Gate.RZ a | Gate.P a | Gate.CRX a | Gate.CRY a | Gate.CRZ a
+  | Gate.CP a | Gate.RZZ a ->
+      Printf.sprintf "%s(%.12g) %s;" (Gate.name g) a qs
+  | Gate.U (t, p, l) -> Printf.sprintf "u(%.12g,%.12g,%.12g) %s;" t p l qs
+  | Gate.Barrier _ -> Printf.sprintf "barrier %s;" qs
+  | Gate.Measure ->
+      let q = List.hd qubits in
+      Printf.sprintf "measure q[%d] -> c[%d];" q q
+  | Gate.Unitary2 _ -> invalid_arg "Qasm: synthesize unitary blocks before emission"
+  | _ -> Printf.sprintf "%s %s;" (Gate.name g) qs
+
+let to_string c =
+  let lowered =
+    Circuit.instrs c
+    |> List.map (fun (i : Circuit.instr) -> (i.gate, i.qubits))
+    |> Qgate.Decompose.to_cx_basis
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  Buffer.add_string buf (Printf.sprintf "qreg q[%d];\ncreg c[%d];\n" (Circuit.n_qubits c) (Circuit.n_qubits c));
+  List.iter
+    (fun (g, qs) ->
+      Buffer.add_string buf (gate_text g qs);
+      Buffer.add_char buf '\n')
+    lowered;
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** OpenQASM 2 emission, for debugging and interchange.
+
+    High-level gates that have no OpenQASM 2 builtin (mcx, unitary blocks)
+    are lowered structurally first. *)
+
+val to_string : Circuit.t -> string
+(** Render a circuit as an OpenQASM 2 program.  [Unitary2] blocks raise
+    [Invalid_argument]; synthesize them before emitting. *)

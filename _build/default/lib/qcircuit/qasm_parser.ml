@@ -1,0 +1,306 @@
+exception Parse_error of string
+
+let fail line msg = raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+
+(* ---- angle expression evaluator (pi, literals, + - * /, parens) ---- *)
+
+type tok = Num of float | Op of char | LPar | RPar
+
+let lex_expr line s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '(' then begin
+      toks := LPar :: !toks;
+      incr i
+    end
+    else if c = ')' then begin
+      toks := RPar :: !toks;
+      incr i
+    end
+    else if c = '+' || c = '-' || c = '*' || c = '/' then begin
+      toks := Op c :: !toks;
+      incr i
+    end
+    else if (c >= '0' && c <= '9') || c = '.' then begin
+      let j = ref !i in
+      while
+        !j < n
+        && ((s.[!j] >= '0' && s.[!j] <= '9')
+           || s.[!j] = '.' || s.[!j] = 'e' || s.[!j] = 'E'
+           || (s.[!j] = '-' && !j > !i && (s.[!j - 1] = 'e' || s.[!j - 1] = 'E'))
+           || (s.[!j] = '+' && !j > !i && (s.[!j - 1] = 'e' || s.[!j - 1] = 'E')))
+      do
+        incr j
+      done;
+      toks := Num (float_of_string (String.sub s !i (!j - !i))) :: !toks;
+      i := !j
+    end
+    else if c = 'p' && !i + 1 < n && s.[!i + 1] = 'i' then begin
+      toks := Num Float.pi :: !toks;
+      i := !i + 2
+    end
+    else fail line (Printf.sprintf "unexpected character %c in expression %S" c s)
+  done;
+  List.rev !toks
+
+(* recursive-descent: expr := term (('+'|'-') term)*; term := factor
+   (('*'|'/') factor)*; factor := '-' factor | '(' expr ')' | number *)
+let eval_expr line s =
+  let toks = ref (lex_expr line s) in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: rest -> toks := rest in
+  let rec expr () =
+    let v = ref (term ()) in
+    let rec loop () =
+      match peek () with
+      | Some (Op '+') ->
+          advance ();
+          v := !v +. term ();
+          loop ()
+      | Some (Op '-') ->
+          advance ();
+          v := !v -. term ();
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !v
+  and term () =
+    let v = ref (factor ()) in
+    let rec loop () =
+      match peek () with
+      | Some (Op '*') ->
+          advance ();
+          v := !v *. factor ();
+          loop ()
+      | Some (Op '/') ->
+          advance ();
+          v := !v /. factor ();
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !v
+  and factor () =
+    match peek () with
+    | Some (Op '-') ->
+        advance ();
+        -.factor ()
+    | Some LPar ->
+        advance ();
+        let v = expr () in
+        (match peek () with
+        | Some RPar -> advance ()
+        | _ -> fail line "expected )");
+        v
+    | Some (Num x) ->
+        advance ();
+        x
+    | _ -> fail line ("bad expression: " ^ s)
+  in
+  let v = expr () in
+  if !toks <> [] then fail line ("trailing tokens in expression: " ^ s);
+  v
+
+(* ---- statement parsing ---- *)
+
+let strip s = String.trim s
+
+let strip_comment s =
+  match String.index_opt s '/' with
+  | Some i when i + 1 < String.length s && s.[i + 1] = '/' -> String.sub s 0 i
+  | _ -> s
+
+(* "name(args) q[1],q[2]" -> (name, Some args, operands) *)
+let split_application line stmt =
+  let stmt = strip stmt in
+  let head, rest =
+    match String.index_opt stmt ' ' with
+    | None -> (stmt, "")
+    | Some i -> (String.sub stmt 0 i, strip (String.sub stmt (i + 1) (String.length stmt - i - 1)))
+  in
+  match String.index_opt head '(' with
+  | None -> (head, None, rest)
+  | Some i ->
+      if head.[String.length head - 1] <> ')' then fail line "malformed parameter list";
+      let name = String.sub head 0 i in
+      let args = String.sub head (i + 1) (String.length head - i - 2) in
+      (name, Some args, rest)
+
+let parse_qubit line reg s =
+  let s = strip s in
+  let fail_q () = fail line (Printf.sprintf "bad operand %S" s) in
+  match (String.index_opt s '[', String.index_opt s ']') with
+  | Some i, Some j when j > i ->
+      let name = String.sub s 0 i in
+      if name <> reg then fail line (Printf.sprintf "unknown register %s" name);
+      (try int_of_string (String.sub s (i + 1) (j - i - 1)) with _ -> fail_q ())
+  | _ -> fail_q ()
+
+let split_args line s =
+  (* split on commas not inside parentheses *)
+  let out = ref [] and buf = Buffer.create 8 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      if c = '(' then begin
+        incr depth;
+        Buffer.add_char buf c
+      end
+      else if c = ')' then begin
+        decr depth;
+        Buffer.add_char buf c
+      end
+      else if c = ',' && !depth = 0 then begin
+        out := Buffer.contents buf :: !out;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    s;
+  if Buffer.length buf > 0 then out := Buffer.contents buf :: !out;
+  ignore line;
+  List.rev_map strip !out
+
+let gate_of_name line name params =
+  let p k = List.nth params k in
+  let arity_check n =
+    if List.length params <> n then
+      fail line (Printf.sprintf "%s expects %d parameters" name n)
+  in
+  match (name, List.length params) with
+  | "id", 0 -> Qgate.Gate.Id
+  | "x", 0 -> Qgate.Gate.X
+  | "y", 0 -> Qgate.Gate.Y
+  | "z", 0 -> Qgate.Gate.Z
+  | "h", 0 -> Qgate.Gate.H
+  | "s", 0 -> Qgate.Gate.S
+  | "sdg", 0 -> Qgate.Gate.Sdg
+  | "t", 0 -> Qgate.Gate.T
+  | "tdg", 0 -> Qgate.Gate.Tdg
+  | "sx", 0 -> Qgate.Gate.SX
+  | "sxdg", 0 -> Qgate.Gate.SXdg
+  | "rx", _ ->
+      arity_check 1;
+      Qgate.Gate.RX (p 0)
+  | "ry", _ ->
+      arity_check 1;
+      Qgate.Gate.RY (p 0)
+  | "rz", _ ->
+      arity_check 1;
+      Qgate.Gate.RZ (p 0)
+  | ("p" | "u1"), _ ->
+      arity_check 1;
+      Qgate.Gate.P (p 0)
+  | "u2", _ ->
+      arity_check 2;
+      Qgate.Gate.U (Float.pi /. 2.0, p 0, p 1)
+  | ("u" | "u3"), _ ->
+      arity_check 3;
+      Qgate.Gate.U (p 0, p 1, p 2)
+  | "cx", 0 -> Qgate.Gate.CX
+  | "cy", 0 -> Qgate.Gate.CY
+  | "cz", 0 -> Qgate.Gate.CZ
+  | "ch", 0 -> Qgate.Gate.CH
+  | "swap", 0 -> Qgate.Gate.SWAP
+  | "crx", _ ->
+      arity_check 1;
+      Qgate.Gate.CRX (p 0)
+  | "cry", _ ->
+      arity_check 1;
+      Qgate.Gate.CRY (p 0)
+  | "crz", _ ->
+      arity_check 1;
+      Qgate.Gate.CRZ (p 0)
+  | ("cp" | "cu1"), _ ->
+      arity_check 1;
+      Qgate.Gate.CP (p 0)
+  | "rzz", _ ->
+      arity_check 1;
+      Qgate.Gate.RZZ (p 0)
+  | "ccx", 0 -> Qgate.Gate.CCX
+  | "ccz", 0 -> Qgate.Gate.CCZ
+  | "cswap", 0 -> Qgate.Gate.CSWAP
+  | "mcx", 0 -> Qgate.Gate.MCX 0 (* arity fixed by operand count below *)
+  | _ -> fail line (Printf.sprintf "unsupported gate %s" name)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let qreg = ref None in
+  let instrs = ref [] in
+  let lineno = ref 0 in
+  let handle_statement stmt =
+    let line = !lineno in
+    let stmt = strip stmt in
+    if stmt = "" then ()
+    else begin
+      let name, args, operands = split_application line stmt in
+      match name with
+      | "OPENQASM" | "include" -> ()
+      | "qreg" -> begin
+          match (String.index_opt operands '[', String.index_opt operands ']') with
+          | Some i, Some j when j > i ->
+              let reg = String.sub operands 0 i in
+              let size = int_of_string (String.sub operands (i + 1) (j - i - 1)) in
+              if !qreg <> None then fail line "multiple qreg declarations unsupported";
+              qreg := Some (reg, size)
+          | _ -> fail line "malformed qreg"
+        end
+      | "creg" -> ()
+      | "barrier" -> begin
+          match !qreg with
+          | None -> fail line "barrier before qreg"
+          | Some (reg, _) ->
+              let qs = List.map (parse_qubit line reg) (split_args line operands) in
+              instrs := { Circuit.gate = Qgate.Gate.Barrier (List.length qs); qubits = qs } :: !instrs
+        end
+      | "measure" -> begin
+          match !qreg with
+          | None -> fail line "measure before qreg"
+          | Some (reg, _) -> begin
+              match String.index_opt operands '-' with
+              | Some i when i + 1 < String.length operands && operands.[i + 1] = '>' ->
+                  let q = parse_qubit line reg (String.sub operands 0 i) in
+                  instrs := { Circuit.gate = Qgate.Gate.Measure; qubits = [ q ] } :: !instrs
+              | _ -> fail line "malformed measure"
+            end
+        end
+      | _ -> begin
+          match !qreg with
+          | None -> fail line "gate before qreg"
+          | Some (reg, _) ->
+              let params =
+                match args with
+                | None -> []
+                | Some a -> List.map (eval_expr line) (split_args line a)
+              in
+              let qs = List.map (parse_qubit line reg) (split_args line operands) in
+              let gate =
+                match gate_of_name line name params with
+                | Qgate.Gate.MCX _ -> Qgate.Gate.MCX (List.length qs - 1)
+                | g -> g
+              in
+              instrs := { Circuit.gate; qubits = qs } :: !instrs
+        end
+    end
+  in
+  List.iter
+    (fun raw ->
+      incr lineno;
+      let body = strip (strip_comment raw) in
+      if body <> "" then
+        (* several statements may share a line; they end with ';' *)
+        String.split_on_char ';' body |> List.iter handle_statement)
+    lines;
+  match !qreg with
+  | None -> raise (Parse_error "no qreg declaration found")
+  | Some (_, size) -> Circuit.create size (List.rev !instrs)
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let buf = really_input_string ic n in
+  close_in ic;
+  parse buf

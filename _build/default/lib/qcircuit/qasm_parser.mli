@@ -1,0 +1,17 @@
+(** Parser for the OpenQASM 2 subset emitted by {!Qasm} and produced by
+    common benchmark suites (QASMBench, RevLib exports).
+
+    Supported: one [qreg]/[creg] pair, the qelib1 gates that map onto
+    {!Qgate.Gate.t} (id x y z h s sdg t tdg sx sxdg rx ry rz p u1 u2 u3 u
+    cx cy cz ch swap crx cry crz cp cu1 rzz ccx ccz cswap), [barrier], and
+    [measure q[i] -> c[j]].  Angle expressions may use [pi], numeric
+    literals, unary minus, [* / + -] and parentheses. *)
+
+exception Parse_error of string
+(** Raised with a human-readable message and line number. *)
+
+val parse : string -> Circuit.t
+(** Parse a full OpenQASM 2 program. *)
+
+val parse_file : string -> Circuit.t
+(** Parse a file from disk. *)

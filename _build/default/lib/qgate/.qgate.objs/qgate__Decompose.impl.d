@@ -1,0 +1,1 @@
+lib/qgate/decompose.ml: Array Float Gate List

@@ -1,0 +1,1 @@
+lib/qgate/decompose.mli: Gate

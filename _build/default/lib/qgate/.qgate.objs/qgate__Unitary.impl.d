@@ -1,0 +1,1 @@
+lib/qgate/unitary.ml: Cx Euler Float Gate Mat Mathkit

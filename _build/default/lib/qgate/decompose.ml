@@ -1,0 +1,153 @@
+let pi = Float.pi
+
+let ntz n =
+  (* number of trailing zeros; n > 0 *)
+  let rec go n acc = if n land 1 = 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let multiplexed_rz controls target alpha =
+  let k = List.length controls in
+  let m = 1 lsl k in
+  if Array.length alpha <> m then invalid_arg "Decompose.multiplexed_rz: angle count";
+  if k = 0 then [ (Gate.RZ alpha.(0), [ target ]) ]
+  else begin
+    let ctrl = Array.of_list controls in
+    (* Control-toggle schedule: after rotation i, CNOT from control c(i).
+       s.(i) = subset of controls XORed onto the target before rotation i. *)
+    let c_index i = if i = m - 1 then k - 1 else ntz (i + 1) in
+    let s = Array.make m 0 in
+    let cur = ref 0 in
+    for i = 0 to m - 1 do
+      s.(i) <- !cur;
+      cur := !cur lxor (1 lsl c_index i)
+    done;
+    (* Branch j sees total angle sum_i beta_i * (-1)^popcount(j land s_i);
+       the schedule matrix is orthogonal so beta = (1/m) A^T alpha. *)
+    (* alpha is indexed with control 0 as the MOST significant bit (matching
+       the qubit-ordering convention), while the schedule subsets s.(i) use
+       control index = bit position; bridge the two when computing parity. *)
+    let branch_bit j b = (j lsr (k - 1 - b)) land 1 in
+    let parity j i =
+      let acc = ref 0 in
+      for b = 0 to k - 1 do
+        if (s.(i) lsr b) land 1 = 1 then acc := !acc lxor branch_bit j b
+      done;
+      !acc
+    in
+    let sign j i = if parity j i = 1 then -1.0 else 1.0 in
+    let beta =
+      Array.init m (fun i ->
+          let acc = ref 0.0 in
+          for j = 0 to m - 1 do
+            acc := !acc +. (sign j i *. alpha.(j))
+          done;
+          !acc /. float_of_int m)
+    in
+    let ops = ref [] in
+    for i = 0 to m - 1 do
+      if Float.abs beta.(i) > 1e-12 then ops := (Gate.RZ beta.(i), [ target ]) :: !ops;
+      ops := (Gate.CX, [ ctrl.(c_index i); target ]) :: !ops
+    done;
+    List.rev !ops
+  end
+
+let rec mcphase theta qubits =
+  match qubits with
+  | [] -> []
+  | [ q ] -> [ (Gate.P theta, [ q ]) ]
+  | _ ->
+      let rec split_last acc = function
+        | [] -> assert false
+        | [ t ] -> (List.rev acc, t)
+        | x :: rest -> split_last (x :: acc) rest
+      in
+      let controls, target = split_last [] qubits in
+      let k = List.length controls in
+      let alpha = Array.make (1 lsl k) 0.0 in
+      alpha.((1 lsl k) - 1) <- theta;
+      multiplexed_rz controls target alpha @ mcphase (theta /. 2.0) controls
+
+let rec lower ((g : Gate.t), qs) =
+  match (g, qs) with
+  | Gate.CY, [ c; t ] -> [ (Gate.Sdg, [ t ]); (Gate.CX, [ c; t ]); (Gate.S, [ t ]) ]
+  | Gate.CZ, [ c; t ] -> [ (Gate.H, [ t ]); (Gate.CX, [ c; t ]); (Gate.H, [ t ]) ]
+  | Gate.CH, [ c; t ] ->
+      [
+        (Gate.S, [ t ]);
+        (Gate.H, [ t ]);
+        (Gate.T, [ t ]);
+        (Gate.CX, [ c; t ]);
+        (Gate.Tdg, [ t ]);
+        (Gate.H, [ t ]);
+        (Gate.Sdg, [ t ]);
+      ]
+  | Gate.SWAP, [ a; b ] -> [ (Gate.CX, [ a; b ]); (Gate.CX, [ b; a ]); (Gate.CX, [ a; b ]) ]
+  | Gate.CP l, [ c; t ] ->
+      [
+        (Gate.P (l /. 2.0), [ c ]);
+        (Gate.CX, [ c; t ]);
+        (Gate.P (-.l /. 2.0), [ t ]);
+        (Gate.CX, [ c; t ]);
+        (Gate.P (l /. 2.0), [ t ]);
+      ]
+  | Gate.CRZ a, [ c; t ] ->
+      [
+        (Gate.RZ (a /. 2.0), [ t ]);
+        (Gate.CX, [ c; t ]);
+        (Gate.RZ (-.a /. 2.0), [ t ]);
+        (Gate.CX, [ c; t ]);
+      ]
+  | Gate.CRY a, [ c; t ] ->
+      [
+        (Gate.RY (a /. 2.0), [ t ]);
+        (Gate.CX, [ c; t ]);
+        (Gate.RY (-.a /. 2.0), [ t ]);
+        (Gate.CX, [ c; t ]);
+      ]
+  | Gate.CRX a, [ c; t ] ->
+      [ (Gate.H, [ t ]) ] @ lower (Gate.CRZ a, [ c; t ]) @ [ (Gate.H, [ t ]) ]
+  | Gate.RZZ a, [ c; t ] ->
+      [ (Gate.CX, [ c; t ]); (Gate.RZ a, [ t ]); (Gate.CX, [ c; t ]) ]
+  | Gate.CCZ, [ a; b; c ] ->
+      [
+        (Gate.CX, [ b; c ]);
+        (Gate.Tdg, [ c ]);
+        (Gate.CX, [ a; c ]);
+        (Gate.T, [ c ]);
+        (Gate.CX, [ b; c ]);
+        (Gate.Tdg, [ c ]);
+        (Gate.CX, [ a; c ]);
+        (Gate.T, [ c ]);
+        (Gate.T, [ b ]);
+        (Gate.CX, [ a; b ]);
+        (Gate.T, [ a ]);
+        (Gate.Tdg, [ b ]);
+        (Gate.CX, [ a; b ]);
+      ]
+  | Gate.CCX, [ a; b; c ] ->
+      ((Gate.H, [ c ]) :: lower (Gate.CCZ, [ a; b; c ])) @ [ (Gate.H, [ c ]) ]
+  | Gate.CSWAP, [ c; a; b ] ->
+      ((Gate.CX, [ b; a ]) :: lower (Gate.CCX, [ c; a; b ])) @ [ (Gate.CX, [ b; a ]) ]
+  | Gate.MCZ _, qs -> mcphase pi qs
+  | Gate.MCX _, qs -> begin
+      match List.rev qs with
+      | t :: _ -> ((Gate.H, [ t ]) :: mcphase pi qs) @ [ (Gate.H, [ t ]) ]
+      | [] -> invalid_arg "Decompose.lower: empty mcx"
+    end
+  | _ -> [ (g, qs) ]
+
+let rec to_cx_basis ops =
+  let step (g, qs) =
+    match (g : Gate.t) with
+    | CX | Barrier _ | Measure -> [ (g, qs) ]
+    | _ when Gate.arity g = 1 -> [ (g, qs) ]
+    | Unitary2 _ -> [ (g, qs) ]
+    | _ -> lower (g, qs)
+  in
+  let out = List.concat_map step ops in
+  let still_high (g, _) =
+    match (g : Gate.t) with
+    | CX | Unitary2 _ | Barrier _ | Measure -> false
+    | _ -> Gate.arity g > 1
+  in
+  if List.exists still_high out then to_cx_basis out else out

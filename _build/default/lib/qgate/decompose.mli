@@ -1,0 +1,26 @@
+(** Structural lowering of multi-qubit gates to {CX + one-qubit gates}.
+
+    One-qubit gates are left symbolic (h, t, rz, ...); merging them into the
+    hardware's {rz, sx, x} basis is the job of the 1q-optimization pass.
+    Multi-controlled gates use the Gray-code multiplexed-Rz construction
+    (Moettoenen et al.), which is ancilla-free and CNOT-optimal at
+    [2^{k+1} - 2] CNOTs for k controls. *)
+
+val lower : Gate.t * int list -> (Gate.t * int list) list
+(** One lowering step: rewrite a gate as a sequence over the same qubits.
+    Returns the input unchanged when the gate is CX or one-qubit. *)
+
+val to_cx_basis : (Gate.t * int list) list -> (Gate.t * int list) list
+(** Fixpoint of {!lower} over a gate sequence: output contains only CX,
+    one-qubit gates and directives.  [Unitary2] blocks are NOT handled here
+    (they are synthesized by the KAK pass). *)
+
+val multiplexed_rz : int list -> int -> float array -> (Gate.t * int list) list
+(** [multiplexed_rz controls target alpha] emits the uniformly-controlled
+    Rz: on control branch [j] the target undergoes [Rz alpha.(j)].
+    [Array.length alpha] must be [2^(List.length controls)].
+    Exposed for tests. *)
+
+val mcphase : float -> int list -> (Gate.t * int list) list
+(** [mcphase theta qubits] applies phase [theta] to the all-ones state of
+    [qubits] (so [mcphase pi] is a multi-controlled Z).  Exposed for tests. *)

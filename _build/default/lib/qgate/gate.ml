@@ -1,0 +1,128 @@
+type t =
+  | Id
+  | X
+  | Y
+  | Z
+  | H
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | SX
+  | SXdg
+  | RX of float
+  | RY of float
+  | RZ of float
+  | P of float
+  | U of float * float * float
+  | CX
+  | CY
+  | CZ
+  | CH
+  | SWAP
+  | CRX of float
+  | CRY of float
+  | CRZ of float
+  | CP of float
+  | RZZ of float
+  | CCX
+  | CCZ
+  | CSWAP
+  | MCX of int
+  | MCZ of int
+  | Unitary2 of Mathkit.Mat.t
+  | Barrier of int
+  | Measure
+
+let arity = function
+  | Id | X | Y | Z | H | S | Sdg | T | Tdg | SX | SXdg | RX _ | RY _ | RZ _ | P _ | U _ -> 1
+  | CX | CY | CZ | CH | SWAP | CRX _ | CRY _ | CRZ _ | CP _ | RZZ _ | Unitary2 _ -> 2
+  | CCX | CCZ | CSWAP -> 3
+  | MCX k | MCZ k -> k + 1
+  | Barrier n -> n
+  | Measure -> 1
+
+let name = function
+  | Id -> "id"
+  | X -> "x"
+  | Y -> "y"
+  | Z -> "z"
+  | H -> "h"
+  | S -> "s"
+  | Sdg -> "sdg"
+  | T -> "t"
+  | Tdg -> "tdg"
+  | SX -> "sx"
+  | SXdg -> "sxdg"
+  | RX _ -> "rx"
+  | RY _ -> "ry"
+  | RZ _ -> "rz"
+  | P _ -> "p"
+  | U _ -> "u"
+  | CX -> "cx"
+  | CY -> "cy"
+  | CZ -> "cz"
+  | CH -> "ch"
+  | SWAP -> "swap"
+  | CRX _ -> "crx"
+  | CRY _ -> "cry"
+  | CRZ _ -> "crz"
+  | CP _ -> "cp"
+  | RZZ _ -> "rzz"
+  | CCX -> "ccx"
+  | CCZ -> "ccz"
+  | CSWAP -> "cswap"
+  | MCX _ -> "mcx"
+  | MCZ _ -> "mcz"
+  | Unitary2 _ -> "unitary"
+  | Barrier _ -> "barrier"
+  | Measure -> "measure"
+
+let pp ppf g =
+  match g with
+  | RX a | RY a | RZ a | P a | CRX a | CRY a | CRZ a | CP a | RZZ a ->
+      Format.fprintf ppf "%s(%.4g)" (name g) a
+  | U (t, p, l) -> Format.fprintf ppf "u(%.4g,%.4g,%.4g)" t p l
+  | MCX k | MCZ k -> Format.fprintf ppf "%s%d" (name g) k
+  | _ -> Format.pp_print_string ppf (name g)
+
+let is_directive = function Barrier _ | Measure -> true | _ -> false
+let is_two_qubit g = (not (is_directive g)) && arity g = 2
+let is_one_qubit g = (not (is_directive g)) && arity g = 1
+
+let is_self_inverse = function
+  | Id | X | Y | Z | H | CX | CY | CZ | CH | SWAP | CCX | CCZ | CSWAP -> true
+  | MCX _ | MCZ _ -> true
+  | SX -> false
+  | _ -> false
+
+let inverse = function
+  | (Id | X | Y | Z | H | CX | CY | CZ | CH | SWAP | CCX | CCZ | CSWAP) as g -> g
+  | (MCX _ | MCZ _) as g -> g
+  | S -> Sdg
+  | Sdg -> S
+  | T -> Tdg
+  | Tdg -> T
+  | SX -> SXdg
+  | SXdg -> SX
+  | RX a -> RX (-.a)
+  | RY a -> RY (-.a)
+  | RZ a -> RZ (-.a)
+  | P a -> P (-.a)
+  | U (t, p, l) -> U (-.t, -.l, -.p)
+  | CRX a -> CRX (-.a)
+  | CRY a -> CRY (-.a)
+  | CRZ a -> CRZ (-.a)
+  | CP a -> CP (-.a)
+  | RZZ a -> RZZ (-.a)
+  | Unitary2 m -> Unitary2 (Mathkit.Mat.adjoint m)
+  | Barrier _ | Measure -> invalid_arg "Gate.inverse: directive has no inverse"
+
+let equal a b =
+  match (a, b) with
+  | Unitary2 m, Unitary2 n -> Mathkit.Mat.approx_equal m n
+  | _ -> a = b
+
+let in_basis = function
+  | Id | RZ _ | SX | X | CX | Barrier _ | Measure -> true
+  | _ -> false

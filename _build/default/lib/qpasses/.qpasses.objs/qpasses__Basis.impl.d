@@ -1,0 +1,1 @@
+lib/qpasses/basis.ml: Decompose Gate List Optimize_1q Qcircuit Qgate Synth2q

@@ -1,0 +1,1 @@
+lib/qpasses/basis.mli: Qcircuit

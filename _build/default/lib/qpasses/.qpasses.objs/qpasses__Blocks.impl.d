@@ -1,0 +1,1 @@
+lib/qpasses/blocks.ml: Array Decompose Gate List Mathkit Qcircuit Qgate Unitary Weyl

@@ -1,0 +1,1 @@
+lib/qpasses/blocks.mli: Mathkit Qcircuit Qgate

@@ -1,0 +1,1 @@
+lib/qpasses/cancellation.ml: Array Commutation Float Gate Hashtbl List Option Qcircuit Qgate

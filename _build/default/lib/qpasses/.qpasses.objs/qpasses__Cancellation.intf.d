@@ -1,0 +1,1 @@
+lib/qpasses/cancellation.mli: Qcircuit

@@ -1,0 +1,1 @@
+lib/qpasses/commutation.ml: Array Format Gate Hashtbl List Mat Mathkit Option Qcircuit Qgate Seq String Unitary

@@ -1,0 +1,1 @@
+lib/qpasses/commutation.mli: Qcircuit Qgate

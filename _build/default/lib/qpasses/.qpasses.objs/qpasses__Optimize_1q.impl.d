@@ -1,0 +1,1 @@
+lib/qpasses/optimize_1q.ml: Array Euler Float Gate List Mat Mathkit Qcircuit Qgate Unitary

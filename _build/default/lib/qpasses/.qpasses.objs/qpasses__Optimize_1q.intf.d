@@ -1,0 +1,1 @@
+lib/qpasses/optimize_1q.mli: Qcircuit Qgate

@@ -1,0 +1,1 @@
+lib/qpasses/peephole.ml: Array Float Gate List Qcircuit Qgate

@@ -1,0 +1,1 @@
+lib/qpasses/peephole.mli: Qcircuit

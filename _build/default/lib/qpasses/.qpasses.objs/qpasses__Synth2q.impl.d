@@ -1,0 +1,1 @@
+lib/qpasses/synth2q.ml: Euler Float Gate List Mat Mathkit Printf Qcircuit Qgate Unitary Weyl

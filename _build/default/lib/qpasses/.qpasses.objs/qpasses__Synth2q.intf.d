@@ -1,0 +1,1 @@
+lib/qpasses/synth2q.mli: Mathkit Qgate

@@ -1,0 +1,1 @@
+lib/qpasses/unitary_synthesis.ml: Blocks List Qcircuit Qgate Synth2q Weyl

@@ -1,0 +1,1 @@
+lib/qpasses/unitary_synthesis.mli: Blocks Qcircuit

@@ -1,0 +1,1 @@
+lib/qpasses/weyl.ml: Array Complex Cx Eig Float Kronfactor List Mat Mathkit

@@ -1,0 +1,1 @@
+lib/qpasses/weyl.mli: Mathkit

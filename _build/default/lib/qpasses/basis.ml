@@ -1,0 +1,37 @@
+open Qgate
+
+let lower_instr (i : Qcircuit.Circuit.instr) =
+  match i.gate with
+  | Gate.Unitary2 m -> begin
+      match i.qubits with
+      | [ a; b ] ->
+          List.map
+            (fun (g, qs) ->
+              {
+                Qcircuit.Circuit.gate = g;
+                qubits = List.map (fun q -> if q = 0 then a else b) qs;
+              })
+            (Synth2q.synthesize m)
+      | _ -> assert false
+    end
+  | _ ->
+      List.map
+        (fun (g, qs) -> { Qcircuit.Circuit.gate = g; qubits = qs })
+        (Decompose.to_cx_basis [ (i.gate, i.qubits) ])
+
+let run c =
+  let lowered =
+    Qcircuit.Circuit.create (Qcircuit.Circuit.n_qubits c)
+      (List.concat_map lower_instr (Qcircuit.Circuit.instrs c))
+  in
+  (* merge 1q runs and land on {rz, sx, x} *)
+  let merged = Optimize_1q.run Optimize_1q.Zsx lowered in
+  (* Optimize_1q emits rz/sx only; X appears when a run equals X exactly, in
+     which case U = (pi, ...) still lowers to rz/sx, so the basis holds. *)
+  merged
+
+let check c =
+  List.for_all
+    (fun (i : Qcircuit.Circuit.instr) -> Gate.in_basis i.gate)
+    (Qcircuit.Circuit.instrs c)
+

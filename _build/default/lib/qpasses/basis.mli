@@ -1,0 +1,12 @@
+(** Final translation into the hardware basis {rz, sx, x, cx}.
+
+    Multi-qubit structure is lowered first ({!Qgate.Decompose}), opaque
+    [Unitary2] blocks are synthesized by KAK, then single-qubit runs are
+    merged and emitted over {rz, sx} — exactly the IBM basis the paper
+    counts gates in. *)
+
+val run : Qcircuit.Circuit.t -> Qcircuit.Circuit.t
+(** The output contains only rz/sx/x/cx plus barriers and measures. *)
+
+val check : Qcircuit.Circuit.t -> bool
+(** Whether every instruction is already in the hardware basis. *)

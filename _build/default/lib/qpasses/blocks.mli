@@ -1,0 +1,31 @@
+(** Two-qubit block collection (Qiskit's Collect2qBlocks analog).
+
+    A block is a maximal contiguous run of instructions confined to one pair
+    of wires: two-qubit gates on exactly that pair plus interleaved
+    one-qubit gates on either wire.  Blocks are what the re-synthesis pass
+    (and NASSC's [C_2q] estimate) operate on. *)
+
+type segment =
+  | Single of Qcircuit.Circuit.instr
+  | Block of block
+
+and block = {
+  pair : int * int;  (** wire pair (lo, hi) *)
+  ops : Qcircuit.Circuit.instr list;  (** in circuit order *)
+}
+
+val collect : Qcircuit.Circuit.t -> segment list
+(** Segments in a valid topological order of the source circuit. *)
+
+val block_unitary : block -> Mathkit.Mat.t
+(** 4x4 unitary of a block, with [fst pair] as the most significant qubit. *)
+
+val to_circuit : int -> segment list -> Qcircuit.Circuit.t
+(** Reassemble segments into a circuit over [n] qubits. *)
+
+val block_cx_cost : block -> int
+(** CNOTs currently spent inside the block (2q gates counted by their
+    CX-basis cost: cx=1, swap=3, other 2q = their lowered cx count). *)
+
+val gate_cx_cost : Qgate.Gate.t -> int
+(** CX-basis cost of one gate (0 for one-qubit gates and directives). *)

@@ -1,0 +1,92 @@
+open Qgate
+
+(* Cancellation key: ops are interchangeable (cancellable in pairs / angle
+   mergeable) when they are the same gate on the same qubits and share a
+   commute set on EVERY wire they touch. *)
+let group_key (an : Commutation.t) id (i : Qcircuit.Circuit.instr) =
+  let sets = List.map (fun q -> (q, Commutation.set_index an ~wire:q ~op:id)) i.qubits in
+  (Gate.name i.gate, i.qubits, sets)
+
+let is_z_rotation = function Gate.RZ _ | Gate.P _ | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg -> true | _ -> false
+
+let z_angle = function
+  | Gate.RZ a -> a
+  | Gate.P a -> a
+  | Gate.Z -> Float.pi
+  | Gate.S -> Float.pi /. 2.0
+  | Gate.Sdg -> -.Float.pi /. 2.0
+  | Gate.T -> Float.pi /. 4.0
+  | Gate.Tdg -> -.Float.pi /. 4.0
+  | _ -> invalid_arg "Cancellation.z_angle"
+
+let two_pi = 2.0 *. Float.pi
+
+let norm a =
+  let a = Float.rem a two_pi in
+  if a > Float.pi then a -. two_pi else if a <= -.Float.pi then a +. two_pi else a
+
+let run c =
+  let an = Commutation.analyze c in
+  let instrs = Array.of_list (Qcircuit.Circuit.instrs c) in
+  let n_ops = Array.length instrs in
+  let drop = Array.make n_ops false in
+  let replace : (int, Qcircuit.Circuit.instr) Hashtbl.t = Hashtbl.create 16 in
+  (* group candidate ops *)
+  let groups : (string * int list * (int * int) list, int list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let zgroups : ((int * int) list * int list, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun id (i : Qcircuit.Circuit.instr) ->
+      if Gate.is_self_inverse i.gate && not (Gate.is_directive i.gate) then begin
+        let k = group_key an id i in
+        Hashtbl.replace groups k (id :: Option.value ~default:[] (Hashtbl.find_opt groups k))
+      end
+      else if is_z_rotation i.gate then begin
+        let sets = List.map (fun q -> (q, Commutation.set_index an ~wire:q ~op:id)) i.qubits in
+        let k = (sets, i.qubits) in
+        Hashtbl.replace zgroups k (id :: Option.value ~default:[] (Hashtbl.find_opt zgroups k))
+      end)
+    instrs;
+  (* self-inverse gates: cancel in pairs (keep one when odd count) *)
+  Hashtbl.iter
+    (fun _ ids ->
+      let ids = List.sort compare ids in
+      let k = List.length ids in
+      if k >= 2 then begin
+        let keep = k mod 2 in
+        (* drop all but the last [keep] occurrences *)
+        List.iteri (fun pos id -> if pos < k - keep then drop.(id) <- true) ids
+      end)
+    groups;
+  (* z rotations: merge angles into the last op of the group *)
+  Hashtbl.iter
+    (fun _ ids ->
+      let ids = List.sort compare ids in
+      match List.rev ids with
+      | last :: (_ :: _ as earlier_rev) ->
+          let total =
+            List.fold_left (fun acc id -> acc +. z_angle instrs.(id).Qcircuit.Circuit.gate) 0.0 ids
+          in
+          List.iter (fun id -> drop.(id) <- true) earlier_rev;
+          let total = norm total in
+          if Float.abs total < 1e-10 then drop.(last) <- true
+          else
+            Hashtbl.replace replace last
+              { instrs.(last) with Qcircuit.Circuit.gate = Gate.RZ total }
+      | _ -> ())
+    zgroups;
+  let out = ref [] in
+  Array.iteri
+    (fun id i ->
+      if not drop.(id) then
+        out := (match Hashtbl.find_opt replace id with Some r -> r | None -> i) :: !out)
+    instrs;
+  Qcircuit.Circuit.create (Qcircuit.Circuit.n_qubits c) (List.rev !out)
+
+let rec run_fixpoint ?(max_rounds = 5) c =
+  if max_rounds = 0 then c
+  else
+    let c' = run c in
+    if Qcircuit.Circuit.size c' = Qcircuit.Circuit.size c then c'
+    else run_fixpoint ~max_rounds:(max_rounds - 1) c'

@@ -1,0 +1,13 @@
+(** Commutative gate cancellation (Qiskit's CommutativeCancellation analog).
+
+    Within each commute set, pairs of identical self-inverse gates acting on
+    the same qubits annihilate, and z-rotations on the same wire merge.
+    This is the pass that turns the paper's "the first CNOT of a SWAP
+    cancels a neighbouring CNOT through commutation" insight into actual
+    gate-count reductions after routing. *)
+
+val run : Qcircuit.Circuit.t -> Qcircuit.Circuit.t
+
+val run_fixpoint : ?max_rounds:int -> Qcircuit.Circuit.t -> Qcircuit.Circuit.t
+(** Iterate {!run} until no more gates are removed (at most [max_rounds],
+    default 5). *)

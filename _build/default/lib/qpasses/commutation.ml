@@ -1,0 +1,101 @@
+open Mathkit
+open Qgate
+
+(* cache of pairwise commutation results, keyed by gate pair + qubit overlap
+   pattern *)
+let cache : (string, bool) Hashtbl.t = Hashtbl.create 256
+
+let key (g1, qs1) (g2, qs2) =
+  let pos q qs = List.mapi (fun i x -> if x = q then Some i else None) qs in
+  ignore pos;
+  let gate_sig g =
+    match (g : Gate.t) with
+    | Gate.Unitary2 _ -> "unitary2?" (* not cacheable; handled below *)
+    | g -> Format.asprintf "%a" Gate.pp g
+  in
+  (* encode relative qubit layout *)
+  let all = List.sort_uniq compare (qs1 @ qs2) in
+  let rel qs = String.concat "," (List.map (fun q ->
+      string_of_int (Option.get (List.find_index (( = ) q) all))) qs)
+  in
+  gate_sig g1 ^ "[" ^ rel qs1 ^ "]|" ^ gate_sig g2 ^ "[" ^ rel qs2 ^ "]"
+
+let compute_commute (g1, qs1) (g2, qs2) =
+  let all = List.sort_uniq compare (qs1 @ qs2) in
+  let n = List.length all in
+  let local qs = List.map (fun q -> Option.get (List.find_index (( = ) q) all)) qs in
+  let u1 = Qcircuit.Circuit.embed ~n (Unitary.of_gate g1) (local qs1) in
+  let u2 = Qcircuit.Circuit.embed ~n (Unitary.of_gate g2) (local qs2) in
+  Mat.frobenius_distance (Mat.mul u1 u2) (Mat.mul u2 u1) < 1e-9
+
+let commute (g1, qs1) (g2, qs2) =
+  if Gate.is_directive g1 || Gate.is_directive g2 then false
+  else if not (List.exists (fun q -> List.mem q qs2) qs1) then true
+  else
+    match ((g1 : Gate.t), (g2 : Gate.t)) with
+    | Gate.Unitary2 _, _ | _, Gate.Unitary2 _ -> compute_commute (g1, qs1) (g2, qs2)
+    | _ ->
+        let k = key (g1, qs1) (g2, qs2) in
+        (match Hashtbl.find_opt cache k with
+        | Some v -> v
+        | None ->
+            let v = compute_commute (g1, qs1) (g2, qs2) in
+            Hashtbl.replace cache k v;
+            v)
+
+type t = {
+  wire_sets : int list list array;  (* per wire: sets in order, ops in order *)
+  index : (int * int, int) Hashtbl.t;  (* (wire, op) -> set index *)
+}
+
+let analyze c =
+  let n = Qcircuit.Circuit.n_qubits c in
+  let instrs = Array.of_list (Qcircuit.Circuit.instrs c) in
+  let wire_sets = Array.make (max n 1) [] in
+  let index = Hashtbl.create 64 in
+  for q = 0 to n - 1 do
+    let ops_on_wire =
+      Array.to_list
+        (Array.of_seq
+           (Seq.filter
+              (fun id -> List.mem q instrs.(id).Qcircuit.Circuit.qubits)
+              (Seq.init (Array.length instrs) (fun i -> i))))
+    in
+    (* group consecutive ops: a new op joins the current set iff it commutes
+       with every member *)
+    let sets = ref [] and current = ref [] in
+    let close () =
+      if !current <> [] then begin
+        sets := List.rev !current :: !sets;
+        current := []
+      end
+    in
+    List.iter
+      (fun id ->
+        let i = instrs.(id) in
+        let as_pair (x : Qcircuit.Circuit.instr) = (x.gate, x.qubits) in
+        if Gate.is_directive i.gate then begin
+          close ();
+          current := [ id ];
+          close ()
+        end
+        else if List.for_all (fun m -> commute (as_pair instrs.(m)) (as_pair i)) !current
+        then current := id :: !current
+        else begin
+          close ();
+          current := [ id ]
+        end)
+      ops_on_wire;
+    close ();
+    let in_order = List.rev !sets in
+    wire_sets.(q) <- in_order;
+    List.iteri (fun si set -> List.iter (fun id -> Hashtbl.replace index (q, id) si) set) in_order
+  done;
+  { wire_sets; index }
+
+let sets_on_wire t q = t.wire_sets.(q)
+
+let set_index t ~wire ~op =
+  match Hashtbl.find_opt t.index (wire, op) with
+  | Some v -> v
+  | None -> raise Not_found

@@ -1,0 +1,24 @@
+(** Commutation analysis (Qiskit's CommutationAnalysis analog).
+
+    For every wire, the ops touching that wire are grouped into maximal runs
+    of pairwise-commuting instructions ("commute sets", Section IV-E of the
+    paper).  Two instructions commute when their embedded unitaries commute
+    on the union of their qubits; results of the pairwise check are cached
+    per gate pair. *)
+
+type t
+
+val analyze : Qcircuit.Circuit.t -> t
+
+val sets_on_wire : t -> int -> int list list
+(** [sets_on_wire t q] lists the commute sets on wire [q] in circuit order;
+    each set is the list of instruction indices (circuit order). *)
+
+val set_index : t -> wire:int -> op:int -> int
+(** Index of the commute set holding instruction [op] on [wire].
+    @raise Not_found if [op] does not touch [wire]. *)
+
+val commute :
+  Qgate.Gate.t * int list -> Qgate.Gate.t * int list -> bool
+(** Pairwise commutation check between two instructions (exact, matrix
+    based).  Instructions on disjoint qubits always commute. *)

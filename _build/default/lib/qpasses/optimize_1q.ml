@@ -1,0 +1,63 @@
+open Mathkit
+open Qgate
+
+type mode = U_gate | Zsx
+
+let two_pi = 2.0 *. Float.pi
+
+let norm_angle a =
+  (* wrap into (-pi, pi] *)
+  let a = Float.rem a two_pi in
+  if a > Float.pi then a -. two_pi else if a <= -.Float.pi then a +. two_pi else a
+
+let is_zero_angle a = Float.abs (norm_angle a) < 1e-10
+
+(* Circuit order: first-applied gate first.
+   U(theta,phi,lam) ~ rz(lam) . sx . rz(theta+pi) . sx . rz(phi+pi) read
+   left-to-right as a circuit; one-sx and zero-sx special cases below. *)
+let zsx_ops theta phi lam =
+  let theta_n = norm_angle theta in
+  let rz a = if is_zero_angle a then [] else [ Gate.RZ (norm_angle a) ] in
+  if Float.abs theta_n < 1e-10 then rz (phi +. lam)
+  else if Float.abs (theta_n -. (Float.pi /. 2.0)) < 1e-10 then
+    rz (lam -. (Float.pi /. 2.0)) @ [ Gate.SX ] @ rz (phi +. (Float.pi /. 2.0))
+  else rz lam @ [ Gate.SX ] @ rz (theta +. Float.pi) @ [ Gate.SX ] @ rz (phi +. Float.pi)
+
+let emit mode q product =
+  let theta, phi, lam, _ = Euler.u_params_of_unitary product in
+  if Euler.is_identity_angles ~eps:1e-10 (theta, phi, lam) then []
+  else
+    match mode with
+    | U_gate -> [ { Qcircuit.Circuit.gate = Gate.U (theta, phi, lam); qubits = [ q ] } ]
+    | Zsx ->
+        List.map
+          (fun g -> { Qcircuit.Circuit.gate = g; qubits = [ q ] })
+          (zsx_ops theta phi lam)
+
+let run mode c =
+  let n = Qcircuit.Circuit.n_qubits c in
+  let pending : Mat.t option array = Array.make (max n 1) None in
+  let out = ref [] in
+  let flush q =
+    (match pending.(q) with
+    | None -> ()
+    | Some m -> List.iter (fun i -> out := i :: !out) (emit mode q m));
+    pending.(q) <- None
+  in
+  let visit (i : Qcircuit.Circuit.instr) =
+    match i.gate with
+    | g when Gate.is_one_qubit g && g <> Gate.Id ->
+        let q = List.hd i.qubits in
+        let u = Unitary.of_gate g in
+        pending.(q) <-
+          Some (match pending.(q) with None -> u | Some acc -> Mat.mul u acc)
+    | Gate.Id -> ()
+    | _ ->
+        List.iter flush i.qubits;
+        out := i :: !out
+  in
+  List.iter visit (Qcircuit.Circuit.instrs c);
+  for q = 0 to n - 1 do
+    flush q
+  done;
+  Qcircuit.Circuit.create n (List.rev !out)

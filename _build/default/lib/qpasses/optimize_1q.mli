@@ -1,0 +1,17 @@
+(** Merge runs of single-qubit gates (Qiskit's Optimize1qGates analog).
+
+    Consecutive one-qubit gates on the same wire are multiplied together and
+    re-emitted either as one [U] gate or in the hardware's {rz, sx} basis.
+    Runs that multiply to the identity disappear entirely. *)
+
+type mode =
+  | U_gate  (** emit a single [U(theta,phi,lam)] per run *)
+  | Zsx  (** emit [rz.sx.rz.sx.rz] (or shorter special cases): hardware basis *)
+
+val run : mode -> Qcircuit.Circuit.t -> Qcircuit.Circuit.t
+
+val zsx_ops : float -> float -> float -> Qgate.Gate.t list
+(** [zsx_ops theta phi lam] rewrites [U(theta,phi,lam)] over {rz, sx} (all
+    gates act on the same wire, listed in circuit order).  Uses the one-sx
+    form when [theta = pi/2] and plain rz when [theta = 0].  Exposed for
+    tests. *)

@@ -1,0 +1,97 @@
+open Qgate
+
+let two_pi = 2.0 *. Float.pi
+
+let norm a =
+  let a = Float.rem a two_pi in
+  if a > Float.pi then a -. two_pi else if a <= -.Float.pi then a +. two_pi else a
+
+(* merge rule for two same-shape rotations; None when not mergeable *)
+let merge_rotations (g1 : Gate.t) (g2 : Gate.t) =
+  let combine build a b =
+    let total = norm (a +. b) in
+    if Float.abs total < 1e-12 then Some [] else Some [ build total ]
+  in
+  match (g1, g2) with
+  | Gate.RZ a, Gate.RZ b -> combine (fun x -> Gate.RZ x) a b
+  | Gate.RX a, Gate.RX b -> combine (fun x -> Gate.RX x) a b
+  | Gate.RY a, Gate.RY b -> combine (fun x -> Gate.RY x) a b
+  | Gate.P a, Gate.P b -> combine (fun x -> Gate.P x) a b
+  | Gate.CP a, Gate.CP b -> combine (fun x -> Gate.CP x) a b
+  | Gate.RZZ a, Gate.RZZ b -> combine (fun x -> Gate.RZZ x) a b
+  | Gate.CRZ a, Gate.CRZ b -> combine (fun x -> Gate.CRZ x) a b
+  | Gate.CRX a, Gate.CRX b -> combine (fun x -> Gate.CRX x) a b
+  | Gate.CRY a, Gate.CRY b -> combine (fun x -> Gate.CRY x) a b
+  | _ -> None
+
+let inverse_pair (g1 : Gate.t) (g2 : Gate.t) =
+  match (g1, g2) with
+  | Gate.Barrier _, _ | _, Gate.Barrier _ | Gate.Measure, _ | _, Gate.Measure -> false
+  | _ -> Gate.equal (Gate.inverse g1) g2
+
+(* One pass over the instruction sequence.  [slots] holds the surviving
+   instructions (None = removed); [last_on] maps each wire to the slot of
+   the latest surviving op touching it. *)
+let one_pass instrs n =
+  let slots = Array.map (fun i -> Some i) instrs in
+  let last_on = Array.make n (-1) in
+  let changed = ref false in
+  Array.iteri
+    (fun idx maybe ->
+      match maybe with
+      | None -> ()
+      | Some (i : Qcircuit.Circuit.instr) ->
+          let preds = List.map (fun q -> last_on.(q)) i.qubits in
+          let adjacent_same_op =
+            match preds with
+            | [] -> None
+            | p :: rest ->
+                if p >= 0 && List.for_all (( = ) p) rest then
+                  match slots.(p) with
+                  | Some (j : Qcircuit.Circuit.instr) when j.qubits = i.qubits -> Some (p, j)
+                  | _ -> None
+                else None
+          in
+          let handled =
+            match adjacent_same_op with
+            | Some (p, j) when inverse_pair j.gate i.gate ->
+                (* both vanish; wires fall back to whatever preceded j,
+                   conservatively reset to -1 (prevents chained rewrites
+                   this pass; the fixpoint loop catches them next pass) *)
+                slots.(p) <- None;
+                slots.(idx) <- None;
+                List.iter (fun q -> last_on.(q) <- -1) i.qubits;
+                changed := true;
+                true
+            | Some (p, j) -> begin
+                match merge_rotations j.gate i.gate with
+                | Some [] ->
+                    slots.(p) <- None;
+                    slots.(idx) <- None;
+                    List.iter (fun q -> last_on.(q) <- -1) i.qubits;
+                    changed := true;
+                    true
+                | Some [ merged ] ->
+                    slots.(p) <- None;
+                    slots.(idx) <- Some { i with gate = merged };
+                    List.iter (fun q -> last_on.(q) <- idx) i.qubits;
+                    changed := true;
+                    true
+                | _ -> false
+              end
+            | None -> false
+          in
+          if not handled then List.iter (fun q -> last_on.(q) <- idx) i.qubits)
+    slots;
+  let out =
+    Array.to_list slots |> List.filter_map (fun x -> x)
+  in
+  (out, !changed)
+
+let run c =
+  let n = Qcircuit.Circuit.n_qubits c in
+  let rec go instrs rounds =
+    let out, changed = one_pass (Array.of_list instrs) n in
+    if changed && rounds < 20 then go out (rounds + 1) else out
+  in
+  Qcircuit.Circuit.create n (go (Qcircuit.Circuit.instrs c) 0)

@@ -1,0 +1,16 @@
+(** Adjacent-window peephole optimization (Maslov et al. style, Section
+    II-C of the paper's related work).
+
+    Cheaper than {!Cancellation} (no commutation analysis): it only looks
+    at gates that are directly adjacent on all shared wires.  Rules:
+    - [g . g^{-1}] pairs vanish (same gate qubits, inverse gates);
+    - same-axis rotations merge ([rz+rz], [rx+rx], [ry+ry], [p+p],
+      [cp+cp], [rzz+rzz], [crz+crz] on identical qubit tuples), dropping
+      merges that sum to the identity angle;
+    - adjacent duplicate self-inverse gates vanish (special case of the
+      first rule).
+
+    Used as a fast clean-up stage; the unitary is preserved exactly. *)
+
+val run : Qcircuit.Circuit.t -> Qcircuit.Circuit.t
+(** One fixpoint run (internally iterates until no rule fires). *)

@@ -1,0 +1,35 @@
+let resynth_gain b =
+  let current = Blocks.block_cx_cost b in
+  let optimal = Weyl.cnot_cost (Blocks.block_unitary b) in
+  max 0 (current - optimal)
+
+let synthesize_block (b : Blocks.block) =
+  let lo, hi = b.pair in
+  let ops = Synth2q.synthesize (Blocks.block_unitary b) in
+  List.map
+    (fun (g, qs) ->
+      { Qcircuit.Circuit.gate = g; qubits = List.map (fun q -> if q = 0 then lo else hi) qs })
+    ops
+
+let run c =
+  let segments = Blocks.collect c in
+  let improve = function
+    | Blocks.Single i -> [ i ]
+    | Blocks.Block b ->
+        let replacement = synthesize_block b in
+        let cx_of l =
+          List.fold_left
+            (fun acc (i : Qcircuit.Circuit.instr) ->
+              acc + (match i.gate with Qgate.Gate.CX -> 1 | g -> Blocks.gate_cx_cost g))
+            0 l
+        in
+        let old_cx = Blocks.block_cx_cost b in
+        let new_cx = cx_of replacement in
+        if
+          new_cx < old_cx
+          || (new_cx = old_cx && List.length replacement < List.length b.ops)
+        then replacement
+        else b.ops
+  in
+  Qcircuit.Circuit.create (Qcircuit.Circuit.n_qubits c)
+    (List.concat_map improve segments)

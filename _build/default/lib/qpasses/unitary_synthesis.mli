@@ -1,0 +1,12 @@
+(** Two-qubit block re-synthesis (Qiskit's Collect2qBlocks +
+    UnitarySynthesis, Section III of the paper).
+
+    Each collected block's 4x4 unitary is re-synthesized by the KAK
+    decomposer; the new body replaces the block when it spends fewer CNOTs
+    (or the same CNOTs with fewer total gates).  This is the optimization
+    that can make an inserted SWAP cost 2, 1 or even 0 extra CNOTs. *)
+
+val run : Qcircuit.Circuit.t -> Qcircuit.Circuit.t
+
+val resynth_gain : Blocks.block -> int
+(** CNOTs saved by re-synthesizing the block ([current - optimal], >= 0). *)

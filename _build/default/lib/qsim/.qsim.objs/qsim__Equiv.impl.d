@@ -1,0 +1,1 @@
+lib/qsim/equiv.ml: Array Cx Float Mat Mathkit Qcircuit State

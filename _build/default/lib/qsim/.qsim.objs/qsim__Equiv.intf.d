@@ -1,0 +1,1 @@
+lib/qsim/equiv.mli: Qcircuit

@@ -1,0 +1,1 @@
+lib/qsim/noise.ml: Array Gate List Mathkit Qcircuit Qgate Rng State Topology

@@ -1,0 +1,1 @@
+lib/qsim/noise.mli: Mathkit Qcircuit Qgate Topology

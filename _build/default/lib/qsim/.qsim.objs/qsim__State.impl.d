@@ -1,0 +1,1 @@
+lib/qsim/state.ml: Array Complex Cx Gate List Mat Mathkit Qcircuit Qgate Rng Unitary

@@ -1,0 +1,1 @@
+lib/qsim/state.mli: Mathkit Qcircuit Qgate

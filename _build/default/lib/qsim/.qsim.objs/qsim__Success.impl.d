@@ -1,0 +1,1 @@
+lib/qsim/success.ml: Array List Mathkit Noise Qcircuit Rng State

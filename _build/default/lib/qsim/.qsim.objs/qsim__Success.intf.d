@@ -1,0 +1,1 @@
+lib/qsim/success.mli: Qcircuit Topology

@@ -1,0 +1,74 @@
+open Mathkit
+
+let unitary_equal a b =
+  Mat.equal_up_to_phase (Qcircuit.Circuit.unitary a) (Qcircuit.Circuit.unitary b)
+
+let states ~logical ~routed =
+  let s_log = State.create (Qcircuit.Circuit.n_qubits logical) in
+  State.apply_circuit s_log (Qcircuit.Circuit.drop_measures logical);
+  let s_phys = State.create (Qcircuit.Circuit.n_qubits routed) in
+  State.apply_circuit s_phys (Qcircuit.Circuit.drop_measures routed);
+  (s_log, s_phys)
+
+(* physical basis index carrying logical index x on the layout wires *)
+let scatter ~n_log ~n_phys final_layout x =
+  let idx = ref 0 in
+  for l = 0 to n_log - 1 do
+    if (x lsr (n_log - 1 - l)) land 1 = 1 then
+      idx := !idx lor (1 lsl (n_phys - 1 - final_layout.(l)))
+  done;
+  !idx
+
+let routed_equal ~logical ~routed ~final_layout =
+  let n_log = Qcircuit.Circuit.n_qubits logical in
+  let n_phys = Qcircuit.Circuit.n_qubits routed in
+  if Array.length final_layout < n_log then false
+  else begin
+    let s_log, s_phys = states ~logical ~routed in
+    let scatter = scatter ~n_log ~n_phys final_layout in
+    (* phase reference: the largest logical amplitude *)
+    let best = ref 0 in
+    for x = 1 to (1 lsl n_log) - 1 do
+      if State.probability s_log x > State.probability s_log !best then best := x
+    done;
+    let za = State.amplitude s_phys (scatter !best) in
+    let zb = State.amplitude s_log !best in
+    if Cx.abs zb < 1e-9 then false
+    else begin
+      let phase = Cx.(za / zb) in
+      if Float.abs (Cx.abs phase -. 1.0) > 1e-6 then false
+      else begin
+        let ok = ref true in
+        let data_prob = ref 0.0 in
+        for x = 0 to (1 lsl n_log) - 1 do
+          let expected = Cx.(phase * State.amplitude s_log x) in
+          if not (Cx.approx ~eps:1e-6 (State.amplitude s_phys (scatter x)) expected) then
+            ok := false;
+          data_prob := !data_prob +. State.probability s_phys (scatter x)
+        done;
+        !ok && Float.abs (!data_prob -. 1.0) < 1e-6
+      end
+    end
+  end
+
+let distribution_distance ~logical ~routed ~final_layout =
+  let n_log = Qcircuit.Circuit.n_qubits logical in
+  let n_phys = Qcircuit.Circuit.n_qubits routed in
+  let s_log, s_phys = states ~logical ~routed in
+  let scatter = scatter ~n_log ~n_phys final_layout in
+  (* marginalize the physical distribution onto the layout wires *)
+  let marg = Array.make (1 lsl n_log) 0.0 in
+  for idx = 0 to (1 lsl n_phys) - 1 do
+    let x = ref 0 in
+    for l = 0 to n_log - 1 do
+      if (idx lsr (n_phys - 1 - final_layout.(l))) land 1 = 1 then
+        x := !x lor (1 lsl (n_log - 1 - l))
+    done;
+    marg.(!x) <- marg.(!x) +. State.probability s_phys idx
+  done;
+  ignore scatter;
+  let acc = ref 0.0 in
+  for x = 0 to (1 lsl n_log) - 1 do
+    acc := !acc +. Float.abs (marg.(x) -. State.probability s_log x)
+  done;
+  !acc /. 2.0

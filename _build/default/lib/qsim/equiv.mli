@@ -1,0 +1,33 @@
+(** Equivalence checking for compiled circuits.
+
+    Routing and optimization must preserve circuit semantics; these checks
+    make that verifiable by users (and are what the test suite runs on
+    every router).  Unitary comparison is exact but exponential; the routed
+    check compares statevectors from |0...0>, which is the relevant notion
+    for routed circuits whose extra device wires start (and must remain)
+    in |0>. *)
+
+val unitary_equal : Qcircuit.Circuit.t -> Qcircuit.Circuit.t -> bool
+(** Dense unitary comparison up to global phase (<= 12 qubits). *)
+
+val routed_equal :
+  logical:Qcircuit.Circuit.t ->
+  routed:Qcircuit.Circuit.t ->
+  final_layout:int array ->
+  bool
+(** [routed_equal ~logical ~routed ~final_layout] checks that running
+    [routed] on the device's |0...0> reproduces exactly the state of
+    [logical], with logical qubit [l] living on physical wire
+    [final_layout.(l)] and every other wire back in |0>.  Amplitudes are
+    compared up to one global phase.  Statevector-based: needs
+    [n_phys <= 24]; measures and barriers are ignored. *)
+
+val distribution_distance :
+  logical:Qcircuit.Circuit.t ->
+  routed:Qcircuit.Circuit.t ->
+  final_layout:int array ->
+  float
+(** Total-variation distance between the logical circuit's measurement
+    distribution and the routed circuit's distribution marginalized onto
+    the final layout (0 when equivalent); useful for diagnosing *how*
+    wrong a transformation is. *)

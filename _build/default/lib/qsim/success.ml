@@ -1,0 +1,75 @@
+open Mathkit
+
+let compact c =
+  let n = Qcircuit.Circuit.n_qubits c in
+  let touched = Array.make n false in
+  List.iter
+    (fun (i : Qcircuit.Circuit.instr) -> List.iter (fun q -> touched.(q) <- true) i.qubits)
+    (Qcircuit.Circuit.instrs c);
+  let where = Array.make n (-1) in
+  let count = ref 0 in
+  Array.iteri
+    (fun q t ->
+      if t then begin
+        where.(q) <- !count;
+        incr count
+      end)
+    touched;
+  let m = max 1 !count in
+  let instrs =
+    List.map
+      (fun (i : Qcircuit.Circuit.instr) ->
+        { i with qubits = List.map (fun q -> where.(q)) i.qubits })
+      (Qcircuit.Circuit.instrs c)
+  in
+  (Qcircuit.Circuit.create m instrs, where)
+
+let ideal_outcome c =
+  let n = Qcircuit.Circuit.n_qubits c in
+  if n > 20 then invalid_arg "Success.ideal_outcome: too many qubits";
+  let s = State.create n in
+  State.apply_circuit s (Qcircuit.Circuit.drop_measures c);
+  State.most_likely s
+
+type outcome = { success_rate : float; esp : float; shots : int }
+
+let routed_success ?(shots = 2048) ?(seed = 97) ~cal ~ideal ~routed ~final_layout () =
+  let n_log = Qcircuit.Circuit.n_qubits ideal in
+  let correct = ideal_outcome ideal in
+  let ideal_bit l = (correct lsr (n_log - 1 - l)) land 1 in
+  let small, where = compact routed in
+  let m = Qcircuit.Circuit.n_qubits small in
+  let base_model = Noise.of_calibration cal in
+  (* wire q of the compacted circuit is physical wire old.(q) *)
+  let old_of = Array.make m 0 in
+  Array.iteri (fun phys w -> if w >= 0 then old_of.(w) <- phys) where;
+  let model = Noise.remap base_model (fun q -> old_of.(q)) in
+  let measured_new =
+    List.init n_log (fun l ->
+        let phys = final_layout.(l) in
+        if phys < 0 || phys >= Array.length where then -1 else where.(phys))
+  in
+  let esp = Noise.esp model small ~measured:(List.filter (fun w -> w >= 0) measured_new) in
+  if m > 18 then begin
+    (* too wide to simulate: analytic fallback *)
+    let s = State.create n_log in
+    State.apply_circuit s (Qcircuit.Circuit.drop_measures ideal);
+    let p_ideal = State.probability s correct in
+    { success_rate = esp *. p_ideal; esp; shots = 0 }
+  end
+  else begin
+    let rng = Rng.create seed in
+    let outcomes = Noise.sample model small ~shots rng in
+    let hits = ref 0 in
+    Array.iter
+      (fun outcome ->
+        let ok = ref true in
+        List.iteri
+          (fun l w ->
+            let bit = if w < 0 then 0 else (outcome lsr (m - 1 - w)) land 1 in
+            if bit <> ideal_bit l then ok := false)
+          measured_new;
+        if !ok then incr hits)
+      outcomes;
+    { success_rate = float_of_int !hits /. float_of_int shots; esp; shots }
+  end

@@ -1,0 +1,35 @@
+(** Success-rate experiments (paper Figure 11b).
+
+    The success rate of a routed circuit is the fraction of noisy shots
+    whose measured logical bitstring equals the noiseless circuit's most
+    likely outcome, as in the paper's Qiskit-simulator experiments. *)
+
+val compact : Qcircuit.Circuit.t -> Qcircuit.Circuit.t * int array
+(** Restrict a circuit to its touched wires.  Returns the compacted circuit
+    and [where], with [where.(old_qubit)] = new index or -1. *)
+
+val ideal_outcome : Qcircuit.Circuit.t -> int
+(** Most likely basis index of the (logical, noiseless) circuit.
+    @raise Invalid_argument above 20 qubits. *)
+
+type outcome = {
+  success_rate : float;
+  esp : float;  (** analytic estimated-success-probability *)
+  shots : int;
+}
+
+val routed_success :
+  ?shots:int ->
+  ?seed:int ->
+  cal:Topology.Calibration.t ->
+  ideal:Qcircuit.Circuit.t ->
+  routed:Qcircuit.Circuit.t ->
+  final_layout:int array ->
+  unit ->
+  outcome
+(** [routed_success ~cal ~ideal ~routed ~final_layout ()] measures logical
+    qubit [l] on physical wire [final_layout.(l)] of the routed circuit and
+    compares against {!ideal_outcome} of the logical circuit.  Default
+    [shots] = 2048.  Falls back to the analytic ESP (returned either way)
+    when the compacted routed circuit is too wide to simulate (> 18
+    wires), reporting [success_rate = esp *. p_ideal]. *)

@@ -1,0 +1,1 @@
+lib/topology/calibration.ml: Array Coupling Float Hashtbl List Mathkit Rng

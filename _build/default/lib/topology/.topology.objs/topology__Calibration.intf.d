@@ -1,0 +1,1 @@
+lib/topology/calibration.mli: Coupling

@@ -1,0 +1,1 @@
+lib/topology/devices.ml: Coupling Float List

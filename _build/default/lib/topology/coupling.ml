@@ -1,0 +1,78 @@
+type t = {
+  n : int;
+  adj : int list array;
+  edges : (int * int) list;
+  dist : int array array;  (* max_int when unreachable *)
+}
+
+let bfs_row adj n src =
+  let d = Array.make n max_int in
+  d.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if d.(v) = max_int then begin
+          d.(v) <- d.(u) + 1;
+          Queue.add v q
+        end)
+      adj.(u)
+  done;
+  d
+
+let create n raw_edges =
+  if n <= 0 then invalid_arg "Coupling.create: need at least one qubit";
+  let norm (a, b) =
+    if a = b then invalid_arg "Coupling.create: self-loop";
+    if a < 0 || b < 0 || a >= n || b >= n then invalid_arg "Coupling.create: edge out of range";
+    (min a b, max a b)
+  in
+  let edges = List.sort_uniq compare (List.map norm raw_edges) in
+  if List.length edges <> List.length raw_edges then
+    invalid_arg "Coupling.create: duplicate edge";
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    edges;
+  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  let dist = Array.init n (fun src -> bfs_row adj n src) in
+  { n; adj; edges; dist }
+
+let n_qubits t = t.n
+let edges t = t.edges
+let neighbors t q = t.adj.(q)
+let degree t q = List.length t.adj.(q)
+let connected t a b = List.mem b t.adj.(a)
+let distance_matrix t = t.dist
+
+let distance t a b =
+  let d = t.dist.(a).(b) in
+  if d = max_int then invalid_arg "Coupling.distance: disconnected qubits";
+  d
+
+let is_connected_graph t =
+  Array.for_all (fun d -> d <> max_int) t.dist.(0)
+
+let diameter t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun m d -> if d = max_int then m else max m d) acc row)
+    0 t.dist
+
+let shortest_path t src dst =
+  let d = t.dist.(src) in
+  if d.(dst) = max_int then invalid_arg "Coupling.shortest_path: disconnected";
+  (* walk back from dst following decreasing distance *)
+  let rec back cur acc =
+    if cur = src then cur :: acc
+    else
+      let prev = List.find (fun v -> t.dist.(src).(v) = d.(cur) - 1) t.adj.(cur) in
+      back prev (cur :: acc)
+  in
+  back dst []
+
+let pp ppf t =
+  Format.fprintf ppf "coupling(%d qubits, %d edges)" t.n (List.length t.edges)

@@ -1,0 +1,33 @@
+(** Device coupling maps.
+
+    A coupling map is an undirected graph over physical qubits; an edge
+    means a CX can be executed natively between the two qubits (we model
+    bidirectional links, as on IBM heavy-hex devices). *)
+
+type t
+
+val create : int -> (int * int) list -> t
+(** [create n edges] builds a coupling map.  Self-loops, duplicate and
+    out-of-range edges are rejected. *)
+
+val n_qubits : t -> int
+val edges : t -> (int * int) list
+(** Normalized (lo, hi) edge list, sorted. *)
+
+val connected : t -> int -> int -> bool
+val neighbors : t -> int -> int list
+val degree : t -> int -> int
+
+val distance : t -> int -> int -> int
+(** Shortest-path hop count (precomputed all-pairs BFS).
+    @raise Invalid_argument if the qubits are in different components. *)
+
+val distance_matrix : t -> int array array
+(** The full matrix; unreachable pairs hold [max_int]. *)
+
+val is_connected_graph : t -> bool
+val diameter : t -> int
+val shortest_path : t -> int -> int -> int list
+(** Inclusive endpoint-to-endpoint vertex path. *)
+
+val pp : Format.formatter -> t -> unit

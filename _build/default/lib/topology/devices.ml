@@ -1,0 +1,75 @@
+let montreal_edges =
+  [
+    (0, 1); (1, 2); (1, 4); (2, 3); (3, 5); (4, 7); (5, 8); (6, 7); (7, 10);
+    (8, 9); (8, 11); (10, 12); (11, 14); (12, 13); (12, 15); (13, 14); (14, 16);
+    (15, 18); (16, 19); (17, 18); (18, 21); (19, 20); (19, 22); (21, 23);
+    (22, 25); (23, 24); (24, 25); (25, 26);
+  ]
+
+let montreal = Coupling.create 27 montreal_edges
+
+let linear n = Coupling.create n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let grid rows cols =
+  let idx r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (idx r c, idx r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (idx r c, idx (r + 1) c) :: !edges
+    done
+  done;
+  Coupling.create (rows * cols) !edges
+
+(* Brick-wall hexagonal lattice with every edge subdivided by an extra
+   qubit: the "heavy-hex" family IBM projects for large error-corrected
+   machines (the paper cites montreal's heavy-hex as that future shape).
+   Base vertices form a rows x cols grid with horizontal edges complete and
+   vertical edges present where (r + c) is even; each edge then gets a
+   middle qubit. *)
+let heavy_hex rows cols =
+  if rows < 2 || cols < 2 then invalid_arg "Devices.heavy_hex: need a 2x2 grid at least";
+  let base r c = (r * cols) + c in
+  let base_edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then base_edges := (base r c, base r (c + 1)) :: !base_edges;
+      if r + 1 < rows && (r + c) mod 2 = 0 then
+        base_edges := (base r c, base (r + 1) c) :: !base_edges
+    done
+  done;
+  let base_count = rows * cols in
+  let edges = ref [] in
+  List.iteri
+    (fun i (a, b) ->
+      let mid = base_count + i in
+      edges := (a, mid) :: (mid, b) :: !edges)
+    (List.rev !base_edges);
+  Coupling.create (base_count + List.length !base_edges) !edges
+
+let ring n =
+  if n < 3 then invalid_arg "Devices.ring: need at least 3 qubits";
+  Coupling.create n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let fully_connected n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  Coupling.create n !edges
+
+let by_name name n =
+  match name with
+  | "montreal" -> montreal
+  | "linear" -> linear n
+  | "ring" -> ring n
+  | "heavy_hex" ->
+      let side = max 2 (int_of_float (Float.round (sqrt (float_of_int (max 4 n) /. 2.5)))) in
+      heavy_hex side side
+  | "grid" ->
+      let side = int_of_float (Float.round (sqrt (float_of_int n))) in
+      grid side side
+  | "full" -> fully_connected n
+  | _ -> invalid_arg ("Devices.by_name: unknown topology " ^ name)

@@ -1,0 +1,31 @@
+(** The hardware topologies evaluated in the paper (Figure 10). *)
+
+val montreal : Coupling.t
+(** The 27-qubit [ibmq_montreal] heavy-hex lattice, transcribed from the
+    public IBM Falcon coupling map. *)
+
+val linear : int -> Coupling.t
+(** Linear nearest-neighbour chain of [n] qubits. *)
+
+val grid : int -> int -> Coupling.t
+(** [grid rows cols] 2D lattice; qubit [r*cols + c]. *)
+
+val heavy_hex : int -> int -> Coupling.t
+(** [heavy_hex rows cols]: brick-wall hexagonal lattice over a
+    [rows x cols] vertex grid with every edge subdivided by a middle qubit
+    - the scalable "heavy-hex" family the paper motivates montreal with.
+    [heavy_hex 3 3] has 18 qubits; sizes grow roughly as [2.5 * rows *
+    cols]. *)
+
+val ring : int -> Coupling.t
+(** Cycle of [n] qubits; the simplest topology where shortest-path choice
+    is ambiguous, useful for routing tests and examples. *)
+
+val fully_connected : int -> Coupling.t
+(** All-to-all coupling; routing inserts no SWAPs there, which is how the
+    "original circuit optimized by Qiskit" baseline columns are produced. *)
+
+val by_name : string -> int -> Coupling.t
+(** ["montreal" | "linear" | "ring" | "grid" | "full"], with the qubit count used by
+    [linear]/[full]; [grid] interprets it as the side of a square.
+    @raise Invalid_argument on unknown names. *)

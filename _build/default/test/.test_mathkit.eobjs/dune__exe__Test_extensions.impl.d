@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Analysis Array Circuit Float Gate Hashtbl List Mat Mathkit Printf Qbench Qcircuit Qgate Qpasses Qroute Qsim Rng Topology

@@ -1,0 +1,1 @@
+test/test_integration_matrix.ml: Alcotest Array Circuit List Printf Qbench Qcircuit Qpasses Qroute Topology

@@ -1,0 +1,1 @@
+test/test_mathkit.ml: Alcotest Array Cx Eig Euler Float Kronfactor List Mat Mathkit Printf QCheck QCheck_alcotest Randmat Rng

@@ -1,0 +1,1 @@
+test/test_paper_scenarios.ml: Alcotest Circuit Engine Float Gate List Mathkit Nassc Pipeline Qbench Qcircuit Qgate Qpasses Qroute Sabre Sys Topology Unitary

@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Circuit Float Gate List Mathkit Qasm Qasm_parser Qcircuit Qgate Qroute Topology

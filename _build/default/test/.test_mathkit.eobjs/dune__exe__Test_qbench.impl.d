@@ -1,0 +1,1 @@
+test/test_qbench.ml: Alcotest Circuit Float Generators List Printf Qbench Qcircuit Qroute Qsim Revlib_like Suite

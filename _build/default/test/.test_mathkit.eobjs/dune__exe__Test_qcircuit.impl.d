@@ -1,0 +1,1 @@
+test/test_qcircuit.ml: Alcotest Array Circuit Cx Dag Gate Hashtbl List Mat Mathkit Qasm Qcircuit Qgate String Unitary

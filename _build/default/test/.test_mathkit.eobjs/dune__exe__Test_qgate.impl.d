@@ -1,0 +1,1 @@
+test/test_qgate.ml: Alcotest Array Cx Decompose Format Gate List Mat Mathkit Printf QCheck QCheck_alcotest Qcircuit Qgate Rng Unitary

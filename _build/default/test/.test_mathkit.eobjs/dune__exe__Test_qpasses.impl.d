@@ -1,0 +1,1 @@
+test/test_qpasses.ml: Alcotest Array Cx Float Format Gate List Mat Mathkit QCheck QCheck_alcotest Qgate Qpasses Randmat Rng Synth2q Unitary Weyl

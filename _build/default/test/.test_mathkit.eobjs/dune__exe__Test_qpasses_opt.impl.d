@@ -1,0 +1,1 @@
+test/test_qpasses_opt.ml: Alcotest Basis Blocks Cancellation Circuit Commutation Euler Float Gate List Mat Mathkit Optimize_1q Qcircuit Qgate Qpasses Randmat Rng Unitary Unitary_synthesis

@@ -1,0 +1,1 @@
+test/test_qroute.ml: Alcotest Array Circuit Engine Gate Hashtbl List Mat Mathkit Metrics Nassc Pipeline Qbench Qcircuit Qgate Qpasses Qroute Qsim Rng Sabre Topology

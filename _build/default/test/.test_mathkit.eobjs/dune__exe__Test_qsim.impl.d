@@ -1,0 +1,1 @@
+test/test_qsim.ml: Alcotest Array Circuit Cx Float Gate Mat Mathkit Noise Qbench Qcircuit Qgate Qroute Qsim Rng State Success Topology

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Circuit Dag Gate List Mathkit QCheck QCheck_alcotest Qasm Qasm_parser Qbench Qcircuit Qgate Qpasses Qroute Qsim Rng Topology

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Calibration Coupling Devices Float List Mathkit Topology

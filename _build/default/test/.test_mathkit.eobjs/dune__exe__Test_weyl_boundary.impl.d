@@ -1,0 +1,1 @@
+test/test_weyl_boundary.ml: Alcotest Cx Float Gate List Mat Mathkit Qgate Qpasses Randmat Rng Synth2q Unitary Weyl

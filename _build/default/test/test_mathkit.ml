@@ -1,0 +1,340 @@
+open Mathkit
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    checki "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    check "in range" true (v >= 0 && v < 17);
+    let f = Rng.float rng 2.5 in
+    check "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_permutation () =
+  let rng = Rng.create 3 in
+  let p = Rng.permutation rng 20 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  check "is permutation" true (sorted = Array.init 20 (fun i -> i))
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int b 1000) in
+  check "split streams differ" true (xs <> ys)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 11 in
+  let n = 20000 in
+  let acc = ref 0.0 and acc2 = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.gaussian rng in
+    acc := !acc +. x;
+    acc2 := !acc2 +. (x *. x)
+  done;
+  let mean = !acc /. float_of_int n in
+  let var = (!acc2 /. float_of_int n) -. (mean *. mean) in
+  check "mean near 0" true (Float.abs mean < 0.05);
+  check "variance near 1" true (Float.abs (var -. 1.0) < 0.05)
+
+(* ---------- Mat ---------- *)
+
+let rng0 () = Rng.create 12345
+
+let test_mat_identity_mul () =
+  let rng = rng0 () in
+  let u = Randmat.unitary rng 4 in
+  check "I*u = u" true (Mat.approx_equal (Mat.mul (Mat.identity 4) u) u);
+  check "u*I = u" true (Mat.approx_equal (Mat.mul u (Mat.identity 4)) u)
+
+let test_mat_unitary_random () =
+  let rng = rng0 () in
+  for n = 1 to 6 do
+    let u = Randmat.unitary rng n in
+    check (Printf.sprintf "unitary %dx%d" n n) true (Mat.is_unitary u)
+  done
+
+let test_mat_det_identity () =
+  checkf "det I4" 1.0 (Cx.abs (Mat.det (Mat.identity 4)))
+
+let test_mat_det_unitary_modulus () =
+  let rng = rng0 () in
+  for n = 2 to 5 do
+    let u = Randmat.unitary rng n in
+    checkf "det modulus 1" 1.0 (Cx.abs (Mat.det u))
+  done
+
+let test_mat_det_multiplicative () =
+  let rng = rng0 () in
+  let a = Randmat.ginibre rng 3 and b = Randmat.ginibre rng 3 in
+  let d1 = Mat.det (Mat.mul a b) and d2 = Cx.(Mat.det a * Mat.det b) in
+  check "det(ab) = det a det b" true (Cx.approx ~eps:1e-6 d1 d2)
+
+let test_mat_kron_shape () =
+  let a = Mat.identity 2 and b = Mat.identity 3 in
+  let k = Mat.kron a b in
+  checki "kron rows" 6 (Mat.rows k);
+  check "kron of ids is id" true (Mat.approx_equal k (Mat.identity 6))
+
+let test_mat_kron_mixed_product () =
+  (* (A kron B)(C kron D) = AC kron BD *)
+  let rng = rng0 () in
+  let a = Randmat.ginibre rng 2
+  and b = Randmat.ginibre rng 2
+  and c = Randmat.ginibre rng 2
+  and d = Randmat.ginibre rng 2 in
+  let lhs = Mat.mul (Mat.kron a b) (Mat.kron c d) in
+  let rhs = Mat.kron (Mat.mul a c) (Mat.mul b d) in
+  check "mixed product" true (Mat.frobenius_distance lhs rhs < 1e-9)
+
+let test_mat_adjoint_involution () =
+  let rng = rng0 () in
+  let a = Randmat.ginibre rng 4 in
+  check "adj adj = id" true (Mat.approx_equal (Mat.adjoint (Mat.adjoint a)) a)
+
+let test_mat_trace_cyclic () =
+  let rng = rng0 () in
+  let a = Randmat.ginibre rng 3 and b = Randmat.ginibre rng 3 in
+  let t1 = Mat.trace (Mat.mul a b) and t2 = Mat.trace (Mat.mul b a) in
+  check "tr(ab)=tr(ba)" true (Cx.approx ~eps:1e-8 t1 t2)
+
+let test_mat_phase_to () =
+  let rng = rng0 () in
+  let u = Randmat.unitary rng 4 in
+  let z = Cx.exp_i 0.7 in
+  (match Mat.phase_to (Mat.scale z u) u with
+  | Some w -> check "phase recovered" true (Cx.approx ~eps:1e-8 w z)
+  | None -> Alcotest.fail "phase_to found nothing");
+  check "equal_up_to_phase" true (Mat.equal_up_to_phase (Mat.scale z u) u);
+  let v = Randmat.unitary rng 4 in
+  check "different unitaries" false (Mat.equal_up_to_phase u v)
+
+(* ---------- Eig ---------- *)
+
+let random_symmetric rng n =
+  let a = Array.init n (fun _ -> Array.init n (fun _ -> Rng.gaussian rng)) in
+  Array.init n (fun i -> Array.init n (fun j -> (a.(i).(j) +. a.(j).(i)) /. 2.0))
+
+let test_jacobi_diagonalizes () =
+  let rng = rng0 () in
+  for n = 2 to 6 do
+    let a = random_symmetric rng n in
+    let vals, v = Eig.jacobi a in
+    (* check A v_k = lambda_k v_k *)
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        let av = ref 0.0 in
+        for j = 0 to n - 1 do
+          av := !av +. (a.(i).(j) *. v.(j).(k))
+        done;
+        check "eigenpair" true (Float.abs (!av -. (vals.(k) *. v.(i).(k))) < 1e-8)
+      done
+    done
+  done
+
+let test_jacobi_orthogonal () =
+  let rng = rng0 () in
+  let a = random_symmetric rng 5 in
+  let _, v = Eig.jacobi a in
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      let dot = ref 0.0 in
+      for k = 0 to 4 do
+        dot := !dot +. (v.(k).(i) *. v.(k).(j))
+      done;
+      let expect = if i = j then 1.0 else 0.0 in
+      check "orthonormal columns" true (Float.abs (!dot -. expect) < 1e-9)
+    done
+  done
+
+let test_simultaneous_diag () =
+  let rng = rng0 () in
+  (* Build two commuting symmetric matrices: same eigenbasis, different
+     (degenerate) spectra. *)
+  for _ = 1 to 10 do
+    let n = 4 in
+    let s = random_symmetric rng n in
+    let _, p = Eig.jacobi s in
+    let diag vals =
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              let acc = ref 0.0 in
+              for k = 0 to n - 1 do
+                acc := !acc +. (p.(i).(k) *. vals.(k) *. p.(j).(k))
+              done;
+              !acc))
+    in
+    (* a has a degenerate pair so b is needed to split it *)
+    let a = diag [| 1.0; 1.0; 2.0; 3.0 |] in
+    let b = diag [| 5.0; -1.0; 0.5; 0.5 |] in
+    let q = Eig.simultaneous_diagonalize a b in
+    let conj m =
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              let acc = ref 0.0 in
+              for k = 0 to n - 1 do
+                for l = 0 to n - 1 do
+                  acc := !acc +. (q.(k).(i) *. m.(k).(l) *. q.(l).(j))
+                done
+              done;
+              !acc))
+    in
+    check "a diagonalized" true (Eig.off_diagonal_norm (conj a) < 1e-7);
+    check "b diagonalized" true (Eig.off_diagonal_norm (conj b) < 1e-7)
+  done
+
+(* ---------- Euler ---------- *)
+
+let test_euler_roundtrip () =
+  let rng = rng0 () in
+  for _ = 1 to 50 do
+    let u = Randmat.unitary rng 2 in
+    let z = Euler.zyz_of_unitary u in
+    let r = Euler.zyz_to_mat z in
+    check "zyz roundtrip" true (Mat.frobenius_distance u r < 1e-8)
+  done
+
+let test_euler_special_cases () =
+  let cases =
+    [
+      Mat.identity 2;
+      Euler.rz_mat 1.3;
+      Euler.ry_mat 0.4;
+      Euler.rx_mat (-2.0);
+      Mat.of_real_rows [ [ 0.0; 1.0 ]; [ 1.0; 0.0 ] ];
+    ]
+  in
+  List.iter
+    (fun u ->
+      let z = Euler.zyz_of_unitary u in
+      check "special case roundtrip" true (Mat.frobenius_distance u (Euler.zyz_to_mat z) < 1e-8))
+    cases
+
+let test_u_params () =
+  let rng = rng0 () in
+  for _ = 1 to 30 do
+    let u = Randmat.unitary rng 2 in
+    let theta, phi, lam, phase = Euler.u_params_of_unitary u in
+    let r = Mat.scale (Cx.exp_i phase) (Euler.u_mat theta phi lam) in
+    check "u params roundtrip" true (Mat.frobenius_distance u r < 1e-8)
+  done
+
+(* ---------- Kronfactor ---------- *)
+
+let test_kron_factor_roundtrip () =
+  let rng = rng0 () in
+  for _ = 1 to 50 do
+    let a = Randmat.su2 rng and b = Randmat.su2 rng in
+    let m = Mat.scale (Cx.exp_i (Rng.float rng 6.28)) (Mat.kron a b) in
+    match Kronfactor.kron_factor m with
+    | None -> Alcotest.fail "kron_factor failed on a kron product"
+    | Some (g, a', b') ->
+        let r = Mat.scale g (Mat.kron a' b') in
+        check "kron roundtrip" true (Mat.frobenius_distance m r < 1e-7)
+  done
+
+let test_kron_factor_rejects () =
+  let rng = rng0 () in
+  (* CNOT is maximally non-local among permutations: not a kron product *)
+  let cnot =
+    Mat.of_real_rows
+      [
+        [ 1.0; 0.0; 0.0; 0.0 ];
+        [ 0.0; 1.0; 0.0; 0.0 ];
+        [ 0.0; 0.0; 0.0; 1.0 ];
+        [ 0.0; 0.0; 1.0; 0.0 ];
+      ]
+  in
+  check "cnot is not a kron product" true (Kronfactor.kron_factor cnot = None);
+  let u = Randmat.su4 rng in
+  (* generic su4 should essentially never factor *)
+  check "random su4 does not factor" true (Kronfactor.kron_factor u = None)
+
+(* ---------- QCheck properties ---------- *)
+
+let qcheck_props =
+  let gen_seed = QCheck.Gen.int_range 0 1_000_000 in
+  let prop_unitary =
+    QCheck.Test.make ~name:"random unitary is unitary" ~count:50
+      (QCheck.make gen_seed) (fun seed ->
+        let u = Randmat.unitary (Rng.create seed) 4 in
+        Mat.is_unitary ~eps:1e-7 u)
+  in
+  let prop_det_su4 =
+    QCheck.Test.make ~name:"su4 has det one" ~count:50 (QCheck.make gen_seed)
+      (fun seed ->
+        let u = Randmat.su4 (Rng.create seed) in
+        Cx.approx ~eps:1e-6 (Mat.det u) Cx.one)
+  in
+  let prop_euler =
+    QCheck.Test.make ~name:"zyz reconstructs" ~count:100 (QCheck.make gen_seed)
+      (fun seed ->
+        let u = Randmat.unitary (Rng.create seed) 2 in
+        Mat.frobenius_distance u (Euler.zyz_to_mat (Euler.zyz_of_unitary u)) < 1e-7)
+  in
+  let prop_kron =
+    QCheck.Test.make ~name:"kron_factor reconstructs" ~count:100
+      (QCheck.make gen_seed) (fun seed ->
+        let rng = Rng.create seed in
+        let m = Mat.kron (Randmat.su2 rng) (Randmat.su2 rng) in
+        match Kronfactor.kron_factor m with
+        | Some (g, a, b) -> Mat.frobenius_distance m (Mat.scale g (Mat.kron a b)) < 1e-6
+        | None -> false)
+  in
+  List.map QCheck_alcotest.to_alcotest [ prop_unitary; prop_det_su4; prop_euler; prop_kron ]
+
+let () =
+  Alcotest.run "mathkit"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "permutation" `Quick test_rng_permutation;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "identity mul" `Quick test_mat_identity_mul;
+          Alcotest.test_case "random unitary" `Quick test_mat_unitary_random;
+          Alcotest.test_case "det identity" `Quick test_mat_det_identity;
+          Alcotest.test_case "det unitary modulus" `Quick test_mat_det_unitary_modulus;
+          Alcotest.test_case "det multiplicative" `Quick test_mat_det_multiplicative;
+          Alcotest.test_case "kron shape" `Quick test_mat_kron_shape;
+          Alcotest.test_case "kron mixed product" `Quick test_mat_kron_mixed_product;
+          Alcotest.test_case "adjoint involution" `Quick test_mat_adjoint_involution;
+          Alcotest.test_case "trace cyclic" `Quick test_mat_trace_cyclic;
+          Alcotest.test_case "phase_to" `Quick test_mat_phase_to;
+        ] );
+      ( "eig",
+        [
+          Alcotest.test_case "jacobi eigenpairs" `Quick test_jacobi_diagonalizes;
+          Alcotest.test_case "jacobi orthogonal" `Quick test_jacobi_orthogonal;
+          Alcotest.test_case "simultaneous diag" `Quick test_simultaneous_diag;
+        ] );
+      ( "euler",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_euler_roundtrip;
+          Alcotest.test_case "special cases" `Quick test_euler_special_cases;
+          Alcotest.test_case "u params" `Quick test_u_params;
+        ] );
+      ( "kronfactor",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_kron_factor_roundtrip;
+          Alcotest.test_case "rejects entangling" `Quick test_kron_factor_rejects;
+        ] );
+      ("properties", qcheck_props);
+    ]

@@ -1,0 +1,128 @@
+open Qcircuit
+open Qgate
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let parse = Qasm_parser.parse
+
+let test_minimal_program () =
+  let c =
+    parse
+      "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\n"
+  in
+  checki "qubits" 2 (Circuit.n_qubits c);
+  checki "ops" 2 (Circuit.size c);
+  match Circuit.instrs c with
+  | [ { gate = Gate.H; qubits = [ 0 ] }; { gate = Gate.CX; qubits = [ 0; 1 ] } ] -> ()
+  | _ -> Alcotest.fail "wrong parse"
+
+let test_angle_expressions () =
+  let c = parse "qreg q[1];\nrz(pi/2) q[0];\nrz(-pi/4) q[0];\nrz(3*pi/8) q[0];\nrz(0.5) q[0];\nrz(2e-3) q[0];\nrz((pi+1)/2) q[0];\n" in
+  match List.map (fun (i : Circuit.instr) -> i.gate) (Circuit.instrs c) with
+  | [ Gate.RZ a; Gate.RZ b; Gate.RZ c'; Gate.RZ d; Gate.RZ e; Gate.RZ f ] ->
+      checkf "pi/2" (Float.pi /. 2.0) a;
+      checkf "-pi/4" (-.Float.pi /. 4.0) b;
+      checkf "3*pi/8" (3.0 *. Float.pi /. 8.0) c';
+      checkf "0.5" 0.5 d;
+      checkf "2e-3" 0.002 e;
+      checkf "(pi+1)/2" ((Float.pi +. 1.0) /. 2.0) f
+  | _ -> Alcotest.fail "wrong gates"
+
+let test_u_gates () =
+  let c = parse "qreg q[1];\nu3(0.1,0.2,0.3) q[0];\nu2(0.4,0.5) q[0];\nu1(0.6) q[0];\n" in
+  match List.map (fun (i : Circuit.instr) -> i.gate) (Circuit.instrs c) with
+  | [ Gate.U (a, b, c'); Gate.U (t, p, l); Gate.P x ] ->
+      checkf "u3 theta" 0.1 a;
+      checkf "u3 phi" 0.2 b;
+      checkf "u3 lam" 0.3 c';
+      checkf "u2 is u(pi/2)" (Float.pi /. 2.0) t;
+      checkf "u2 phi" 0.4 p;
+      checkf "u2 lam" 0.5 l;
+      checkf "u1 is p" 0.6 x
+  | _ -> Alcotest.fail "wrong gates"
+
+let test_multi_qubit_and_measure () =
+  let c =
+    parse
+      "qreg q[4];\ncreg c[4];\nccx q[0],q[1],q[2];\ncswap q[0],q[1],q[2];\nswap q[2],q[3];\nbarrier q[0],q[1];\nmeasure q[3] -> c[3];\n"
+  in
+  match Circuit.instrs c with
+  | [
+   { gate = Gate.CCX; qubits = [ 0; 1; 2 ] };
+   { gate = Gate.CSWAP; qubits = [ 0; 1; 2 ] };
+   { gate = Gate.SWAP; qubits = [ 2; 3 ] };
+   { gate = Gate.Barrier 2; qubits = [ 0; 1 ] };
+   { gate = Gate.Measure; qubits = [ 3 ] };
+  ] ->
+      ()
+  | _ -> Alcotest.fail "wrong parse"
+
+let test_comments_and_whitespace () =
+  let c = parse "qreg q[1]; // register\n// full comment line\n  x q[0];  \n\n" in
+  checki "one op" 1 (Circuit.size c)
+
+let test_errors () =
+  let raises s =
+    try
+      ignore (parse s);
+      false
+    with Qasm_parser.Parse_error _ -> true
+  in
+  check "no qreg" true (raises "x q[0];\n");
+  check "unknown gate" true (raises "qreg q[1];\nfoo q[0];\n");
+  check "bad operand" true (raises "qreg q[1];\nx r[0];\n");
+  check "bad angle" true (raises "qreg q[1];\nrz(pi**2) q[0];\n");
+  check "wrong params" true (raises "qreg q[1];\nrz(1,2) q[0];\n")
+
+let test_roundtrip_with_emitter () =
+  (* Qasm.to_string output must parse back to a circuit with the same
+     unitary *)
+  let rng = Mathkit.Rng.create 77 in
+  for _ = 1 to 10 do
+    let b = Circuit.Builder.create 3 in
+    for _ = 1 to 15 do
+      match Mathkit.Rng.int rng 5 with
+      | 0 -> Circuit.Builder.add b Gate.H [ Mathkit.Rng.int rng 3 ]
+      | 1 -> Circuit.Builder.add b (Gate.RZ (Mathkit.Rng.float rng 6.0)) [ Mathkit.Rng.int rng 3 ]
+      | 2 -> Circuit.Builder.add b (Gate.CP (Mathkit.Rng.float rng 3.0)) [ 0; 2 ]
+      | 3 -> Circuit.Builder.add b Gate.CX [ 1; 2 ]
+      | _ -> Circuit.Builder.add b Gate.T [ Mathkit.Rng.int rng 3 ]
+    done;
+    let c = Circuit.Builder.circuit b in
+    let parsed = parse (Qasm.to_string c) in
+    check "roundtrip unitary" true
+      (Mathkit.Mat.equal_up_to_phase (Circuit.unitary parsed) (Circuit.unitary c))
+  done
+
+let test_parse_then_transpile () =
+  (* external QASM input flows through the whole stack *)
+  let qasm =
+    "OPENQASM 2.0;\nqreg q[4];\nh q[0];\ncp(pi/2) q[1],q[0];\ncp(pi/4) q[2],q[0];\n\
+     h q[1];\ncp(pi/2) q[2],q[1];\nh q[2];\nccx q[1],q[2],q[3];\n"
+  in
+  let c = parse qasm in
+  let r =
+    Qroute.Pipeline.transpile
+      ~router:(Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config)
+      (Topology.Devices.linear 5) c
+  in
+  check "parses and routes" true (r.cx_total > 0);
+  check "valid on device" true (Qroute.Sabre.check_routed (Topology.Devices.linear 5) r.circuit)
+
+let () =
+  Alcotest.run "qasm_parser"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "minimal" `Quick test_minimal_program;
+          Alcotest.test_case "angles" `Quick test_angle_expressions;
+          Alcotest.test_case "u gates" `Quick test_u_gates;
+          Alcotest.test_case "multi-qubit + measure" `Quick test_multi_qubit_and_measure;
+          Alcotest.test_case "comments" `Quick test_comments_and_whitespace;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "emitter roundtrip" `Quick test_roundtrip_with_emitter;
+          Alcotest.test_case "parse then transpile" `Quick test_parse_then_transpile;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+open Qcircuit
+open Qbench
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let lowered_cx c =
+  Circuit.cx_count (Qroute.Pipeline.lower_to_2q c)
+
+(* paper Table I CNOT_total calibration points that our generators match
+   exactly (see Generators doc) *)
+let test_vqe_cx_counts () =
+  checki "vqe8 = 84" 84 (lowered_cx (Generators.vqe 8));
+  checki "vqe12 = 198" 198 (lowered_cx (Generators.vqe 12))
+
+let test_bv_cx_count () = checki "bv19 = 18" 18 (lowered_cx (Generators.bernstein_vazirani 19))
+
+let test_qft_cx_counts () =
+  checki "qft15 = 210" 210 (lowered_cx (Generators.qft 15));
+  checki "qft20 = 380 (paper 374 post-opt)" 380 (lowered_cx (Generators.qft 20))
+
+let test_grover4_cx_count () = checki "grover4 = 84" 84 (lowered_cx (Generators.grover 4))
+
+let test_adder_cx_count () = checki "adder10 = 65" 65 (lowered_cx (Generators.adder 10))
+
+let test_qubit_counts () =
+  List.iter
+    (fun (e : Suite.entry) ->
+      checki (e.name ^ " qubits") e.n_qubits (Circuit.n_qubits (e.build ())))
+    Suite.paper_suite
+
+let test_suite_complete () =
+  checki "15 benchmarks" 15 (List.length Suite.paper_suite);
+  check "has heavy entries" true (List.exists (fun e -> e.Suite.heavy) Suite.paper_suite);
+  check "has noise subset" true
+    (List.exists (fun e -> e.Suite.noise_subset) Suite.paper_suite)
+
+let test_find () =
+  let e = Suite.find "QFT 15-qubits" in
+  checki "qft15 qubits" 15 e.n_qubits;
+  check "unknown raises" true
+    (try
+       ignore (Suite.find "nope");
+       false
+     with Not_found -> true)
+
+let test_revlib_targets () =
+  (* lowered CNOT totals approximate the paper's originals (within 2%) *)
+  let close name target c =
+    let cx = lowered_cx c in
+    let err = Float.abs (float_of_int (cx - target)) /. float_of_int target in
+    check (Printf.sprintf "%s cx %d within 2%% of %d" name cx target) true (err < 0.02)
+  in
+  close "sqn_258" 4459 (Revlib_like.sqn_258 ());
+  close "rd84_253" 5960 (Revlib_like.rd84_253 ());
+  close "co14_215" 7840 (Revlib_like.co14_215 ());
+  close "sym9_193" 15232 (Revlib_like.sym9_193 ())
+
+let test_revlib_deterministic () =
+  check "same seed, same netlist" true
+    (Circuit.equal (Revlib_like.sqn_258 ()) (Revlib_like.sqn_258 ()));
+  check "different seeds differ" false
+    (Circuit.equal (Revlib_like.sqn_258 ()) (Revlib_like.mct_netlist ~seed:1 ~n:10 ~target_cx:4459))
+
+let test_grover_finds_marked_state () =
+  (* grover-4 must concentrate probability on |1111> *)
+  let c = Generators.grover 4 in
+  let s = Qsim.State.create 4 in
+  Qsim.State.apply_circuit s c;
+  let p_marked = Qsim.State.probability s 0b1111 in
+  check "marked state amplified" true (p_marked > 0.5);
+  checki "most likely is marked" 0b1111 (Qsim.State.most_likely s)
+
+let test_qpe_estimates_phase () =
+  (* phase 0.3203125 = 0.0101001b exactly representable on 8 counting bits *)
+  let c = Generators.qpe 9 in
+  let s = Qsim.State.create 9 in
+  Qsim.State.apply_circuit s c;
+  let out = Qsim.State.most_likely s in
+  (* counting register = qubits 0..7, qubit 0 the most significant bit of
+     the estimate; the eigen qubit is the least significant index bit *)
+  let counting = out lsr 1 in
+  let est = float_of_int counting /. 256.0 in
+  let target = 0.3203125 in
+  check "qpe phase recovered exactly" true (Float.abs (est -. target) < 1e-9);
+  check "estimate deterministic" true (Qsim.State.probability s out > 0.99)
+
+let test_multiplier_structure () =
+  let c = Generators.multiplier 25 in
+  checki "25 qubits" 25 (Circuit.n_qubits c);
+  let cx = lowered_cx c in
+  check "multiplier size plausible (paper 670)" true (cx > 300 && cx < 1400)
+
+let () =
+  Alcotest.run "qbench"
+    [
+      ( "calibration",
+        [
+          Alcotest.test_case "vqe counts" `Quick test_vqe_cx_counts;
+          Alcotest.test_case "bv count" `Quick test_bv_cx_count;
+          Alcotest.test_case "qft counts" `Quick test_qft_cx_counts;
+          Alcotest.test_case "grover4 count" `Quick test_grover4_cx_count;
+          Alcotest.test_case "adder count" `Quick test_adder_cx_count;
+          Alcotest.test_case "revlib targets" `Quick test_revlib_targets;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "qubit counts" `Quick test_qubit_counts;
+          Alcotest.test_case "complete" `Quick test_suite_complete;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "revlib deterministic" `Quick test_revlib_deterministic;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "grover amplifies" `Quick test_grover_finds_marked_state;
+          Alcotest.test_case "qpe phase" `Quick test_qpe_estimates_phase;
+          Alcotest.test_case "multiplier structure" `Quick test_multiplier_structure;
+        ] );
+    ]

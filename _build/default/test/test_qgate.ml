@@ -1,0 +1,215 @@
+open Mathkit
+open Qgate
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Dense operator of an op list over n qubits, via Qcircuit.Circuit.embed. *)
+let ops_unitary n ops =
+  List.fold_left
+    (fun acc (g, qs) ->
+      Mat.mul (Qcircuit.Circuit.embed ~n (Unitary.of_gate g) qs) acc)
+    (Mat.identity (1 lsl n))
+    ops
+
+let all_simple_gates =
+  [
+    Gate.Id; Gate.X; Gate.Y; Gate.Z; Gate.H; Gate.S; Gate.Sdg; Gate.T; Gate.Tdg;
+    Gate.SX; Gate.SXdg; Gate.RX 0.7; Gate.RY (-1.2); Gate.RZ 2.9; Gate.P 0.3;
+    Gate.U (0.5, 1.0, -0.4); Gate.CX; Gate.CY; Gate.CZ; Gate.CH; Gate.SWAP;
+    Gate.CRX 0.9; Gate.CRY 1.4; Gate.CRZ (-0.6); Gate.CP 2.2; Gate.RZZ 0.8;
+    Gate.CCX; Gate.CCZ; Gate.CSWAP; Gate.MCX 3; Gate.MCZ 3;
+  ]
+
+let test_all_unitaries_are_unitary () =
+  List.iter
+    (fun g ->
+      check (Format.asprintf "%a unitary" Gate.pp g) true
+        (Mat.is_unitary (Unitary.of_gate g)))
+    all_simple_gates
+
+let test_inverse_is_inverse () =
+  List.iter
+    (fun g ->
+      let u = Unitary.of_gate g and v = Unitary.of_gate (Gate.inverse g) in
+      let n = Mat.rows u in
+      check
+        (Format.asprintf "%a inverse" Gate.pp g)
+        true
+        (Mat.equal_up_to_phase (Mat.mul u v) (Mat.identity n)))
+    all_simple_gates
+
+let test_self_inverse_flag_sound () =
+  List.iter
+    (fun g ->
+      if Gate.is_self_inverse g then
+        let u = Unitary.of_gate g in
+        check
+          (Format.asprintf "%a self-inverse" Gate.pp g)
+          true
+          (Mat.equal_up_to_phase (Mat.mul u u) (Mat.identity (Mat.rows u))))
+    all_simple_gates
+
+let test_arity_consistent () =
+  List.iter
+    (fun g ->
+      let u = Unitary.of_gate g in
+      checki (Format.asprintf "%a arity" Gate.pp g) (1 lsl Gate.arity g) (Mat.rows u))
+    all_simple_gates
+
+let test_known_matrices () =
+  (* CX: |10> -> |11>, control = most significant *)
+  let cx = Unitary.of_gate Gate.CX in
+  check "cx flips target" true (Cx.approx (Mat.get cx 3 2) Cx.one);
+  check "cx keeps 01" true (Cx.approx (Mat.get cx 1 1) Cx.one);
+  (* SWAP exchanges 01 and 10 *)
+  let sw = Unitary.of_gate Gate.SWAP in
+  check "swap 01->10" true (Cx.approx (Mat.get sw 2 1) Cx.one);
+  (* S = sqrt Z, T = sqrt S *)
+  let s = Unitary.of_gate Gate.S and z = Unitary.of_gate Gate.Z in
+  check "s^2 = z" true (Mat.approx_equal (Mat.mul s s) z);
+  let t = Unitary.of_gate Gate.T in
+  check "t^2 = s" true (Mat.approx_equal (Mat.mul t t) s);
+  let sx = Unitary.of_gate Gate.SX and x = Unitary.of_gate Gate.X in
+  check "sx^2 = x" true (Mat.equal_up_to_phase (Mat.mul sx sx) x)
+
+let test_swap_conjugates_cx () =
+  (* SWAP . CX(a,b) . SWAP = CX(b,a) *)
+  let sw = Unitary.of_gate Gate.SWAP in
+  let cx = Unitary.of_gate Gate.CX in
+  check "swap conjugation" true
+    (Mat.approx_equal (Mat.mul sw (Mat.mul cx sw)) Unitary.cnot_rev)
+
+(* ---------- decomposition ---------- *)
+
+let decomposition_preserves g n_qubits =
+  let qs = List.init (Gate.arity g) (fun i -> i) in
+  let lowered = Decompose.to_cx_basis [ (g, qs) ] in
+  let u_orig = Qcircuit.Circuit.embed ~n:n_qubits (Unitary.of_gate g) qs in
+  let u_low = ops_unitary n_qubits lowered in
+  Mat.equal_up_to_phase u_orig u_low
+
+let test_lowering_2q () =
+  List.iter
+    (fun g ->
+      check (Format.asprintf "%a lowering" Gate.pp g) true (decomposition_preserves g 2))
+    [
+      Gate.CY; Gate.CZ; Gate.CH; Gate.SWAP; Gate.CP 1.1; Gate.CRZ 0.7; Gate.CRY (-0.9);
+      Gate.CRX 2.3; Gate.RZZ 0.5;
+    ]
+
+let test_lowering_3q () =
+  List.iter
+    (fun g ->
+      check (Format.asprintf "%a lowering" Gate.pp g) true (decomposition_preserves g 3))
+    [ Gate.CCX; Gate.CCZ; Gate.CSWAP ]
+
+let test_lowering_mcx () =
+  for k = 3 to 5 do
+    check
+      (Printf.sprintf "mcx %d lowering" k)
+      true
+      (decomposition_preserves (Gate.MCX k) (k + 1));
+    check
+      (Printf.sprintf "mcz %d lowering" k)
+      true
+      (decomposition_preserves (Gate.MCZ k) (k + 1))
+  done
+
+let test_lowering_only_basis_ops () =
+  let lowered = Decompose.to_cx_basis [ (Gate.MCX 4, [ 0; 1; 2; 3; 4 ]) ] in
+  List.iter
+    (fun (g, _) ->
+      check "only cx and 1q" true (g = Gate.CX || Gate.arity g = 1))
+    lowered
+
+let test_mcx_cnot_count () =
+  (* gray-code construction: 2^{k+1} - 2 CNOTs for k controls *)
+  for k = 2 to 6 do
+    let lowered = Decompose.to_cx_basis [ (Gate.MCZ k, List.init (k + 1) (fun i -> i)) ] in
+    let cxs = List.length (List.filter (fun (g, _) -> g = Gate.CX) lowered) in
+    checki (Printf.sprintf "mcz %d cx count" k) ((1 lsl (k + 1)) - 2) cxs
+  done
+
+let test_multiplexed_rz () =
+  (* directly verify branch angles of the multiplexer *)
+  let rng = Rng.create 99 in
+  for k = 1 to 4 do
+    let m = 1 lsl k in
+    let alpha = Array.init m (fun _ -> Rng.float rng 6.28 -. 3.14) in
+    let controls = List.init k (fun i -> i) in
+    let ops = Decompose.multiplexed_rz controls k alpha in
+    let u = ops_unitary (k + 1) ops in
+    (* expected: block-diagonal rz(alpha_j) on target for each control branch *)
+    let expected =
+      Mat.init (1 lsl (k + 1)) (1 lsl (k + 1)) (fun i j ->
+          if i <> j then Cx.zero
+          else
+            let branch = i lsr 1 and tbit = i land 1 in
+            let a = alpha.(branch) in
+            Cx.exp_i ((if tbit = 1 then 1.0 else -1.0) *. a /. 2.0))
+    in
+    check (Printf.sprintf "multiplexed rz k=%d" k) true (Mat.equal_up_to_phase u expected)
+  done
+
+let test_mcphase_matrix () =
+  for n = 1 to 5 do
+    let qs = List.init n (fun i -> i) in
+    let theta = 0.77 in
+    let u = ops_unitary n (Decompose.to_cx_basis (Decompose.mcphase theta qs)) in
+    let dim = 1 lsl n in
+    let expected =
+      Mat.init dim dim (fun i j ->
+          if i <> j then Cx.zero else if i = dim - 1 then Cx.exp_i theta else Cx.one)
+    in
+    check (Printf.sprintf "mcphase n=%d" n) true (Mat.equal_up_to_phase u expected)
+  done
+
+let qcheck_props =
+  let gen_seed = QCheck.Gen.int_range 0 1_000_000 in
+  let prop_u_gate =
+    QCheck.Test.make ~name:"u gate is unitary for random angles" ~count:100
+      (QCheck.make gen_seed) (fun seed ->
+        let rng = Rng.create seed in
+        let g =
+          Gate.U (Rng.float rng 6.3, Rng.float rng 6.3 -. 3.15, Rng.float rng 6.3 -. 3.15)
+        in
+        Mat.is_unitary (Unitary.of_gate g))
+  in
+  let prop_crz =
+    QCheck.Test.make ~name:"crz lowering preserves unitary" ~count:50
+      (QCheck.make gen_seed) (fun seed ->
+        let rng = Rng.create seed in
+        let a = Rng.float rng 6.3 -. 3.15 in
+        let g = Gate.CRZ a in
+        let lowered = Decompose.to_cx_basis [ (g, [ 0; 1 ]) ] in
+        Mat.equal_up_to_phase
+          (ops_unitary 2 lowered)
+          (Unitary.of_gate g))
+  in
+  List.map QCheck_alcotest.to_alcotest [ prop_u_gate; prop_crz ]
+
+let () =
+  Alcotest.run "qgate"
+    [
+      ( "unitaries",
+        [
+          Alcotest.test_case "all unitary" `Quick test_all_unitaries_are_unitary;
+          Alcotest.test_case "inverses" `Quick test_inverse_is_inverse;
+          Alcotest.test_case "self-inverse flags" `Quick test_self_inverse_flag_sound;
+          Alcotest.test_case "arity" `Quick test_arity_consistent;
+          Alcotest.test_case "known matrices" `Quick test_known_matrices;
+          Alcotest.test_case "swap conjugates cx" `Quick test_swap_conjugates_cx;
+        ] );
+      ( "decompose",
+        [
+          Alcotest.test_case "two-qubit gates" `Quick test_lowering_2q;
+          Alcotest.test_case "three-qubit gates" `Quick test_lowering_3q;
+          Alcotest.test_case "mcx/mcz" `Quick test_lowering_mcx;
+          Alcotest.test_case "basis only" `Quick test_lowering_only_basis_ops;
+          Alcotest.test_case "mcz cx count" `Quick test_mcx_cnot_count;
+          Alcotest.test_case "multiplexed rz" `Quick test_multiplexed_rz;
+          Alcotest.test_case "mcphase matrix" `Quick test_mcphase_matrix;
+        ] );
+      ("properties", qcheck_props);
+    ]

@@ -1,0 +1,373 @@
+open Mathkit
+open Qcircuit
+open Qgate
+open Qroute
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let random_2q_circuit rng n len =
+  let b = Circuit.Builder.create n in
+  for _ = 1 to len do
+    match Rng.int rng 5 with
+    | 0 -> Circuit.Builder.add b Gate.H [ Rng.int rng n ]
+    | 1 -> Circuit.Builder.add b (Gate.RZ (Rng.float rng 6.28)) [ Rng.int rng n ]
+    | 2 -> Circuit.Builder.add b Gate.T [ Rng.int rng n ]
+    | _ ->
+        let a = Rng.int rng n in
+        let c = (a + 1 + Rng.int rng (n - 1)) mod n in
+        Circuit.Builder.add b Gate.CX [ a; c ]
+  done;
+  Circuit.Builder.circuit b
+
+(* Routed-circuit semantics (see Qsim.Equiv): the routed state restricted
+   to the final layout must equal the logical state. *)
+let routing_preserves_semantics routed_circuit final_layout logical =
+  Qsim.Equiv.routed_equal ~logical ~routed:routed_circuit ~final_layout
+
+(* ---------- engine basics ---------- *)
+
+let test_fully_connected_no_swaps () =
+  let coupling = Topology.Devices.fully_connected 5 in
+  let rng = Rng.create 1 in
+  let c = random_2q_circuit rng 5 30 in
+  let r = Sabre.route coupling c in
+  checki "no swaps on full connectivity" 0 r.n_swaps;
+  check "still valid" true (Sabre.check_routed coupling r.circuit)
+
+let test_route_rejects_wide_gates () =
+  let coupling = Topology.Devices.linear 4 in
+  let c = Circuit.create 4 [ { gate = Gate.CCX; qubits = [ 0; 1; 2 ] } ] in
+  check "raises" true
+    (try
+       ignore (Sabre.route coupling c);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mapping_layout_validation () =
+  check "duplicate physical rejected" true
+    (try
+       ignore (Engine.mapping_of_layout ~n_phys:3 [| 1; 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- SABRE ---------- *)
+
+let devices =
+  [
+    ("linear5", Topology.Devices.linear 5, 5);
+    ("grid9", Topology.Devices.grid 3 3, 9);
+    ("montreal", Topology.Devices.montreal, 27);
+  ]
+
+let test_sabre_validity () =
+  let rng = Rng.create 42 in
+  List.iter
+    (fun (name, coupling, n) ->
+      for _ = 1 to 3 do
+        let c = random_2q_circuit rng (min n 5) 40 in
+        let r = Sabre.route coupling c in
+        check (name ^ " routed validly") true (Sabre.check_routed coupling r.circuit)
+      done)
+    devices
+
+let test_sabre_semantics () =
+  let rng = Rng.create 7 in
+  for trial = 1 to 8 do
+    let c = random_2q_circuit rng 4 25 in
+    let coupling = Topology.Devices.linear 5 in
+    let params = { Engine.default_params with seed = trial } in
+    let r = Sabre.route ~params coupling c in
+    let expanded = Sabre.decompose_swaps r.circuit in
+    check "sabre preserves semantics" true
+      (routing_preserves_semantics expanded r.final_layout c)
+  done
+
+let test_sabre_layout_is_permutation () =
+  let rng = Rng.create 3 in
+  let c = random_2q_circuit rng 5 30 in
+  let r = Sabre.route Topology.Devices.montreal c in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun p ->
+      check "phys in range" true (p >= 0 && p < 27);
+      check "no duplicate" false (Hashtbl.mem seen p);
+      Hashtbl.add seen p ())
+    r.final_layout
+
+(* ---------- NASSC ---------- *)
+
+let test_nassc_validity () =
+  let rng = Rng.create 43 in
+  List.iter
+    (fun (name, coupling, n) ->
+      for _ = 1 to 3 do
+        let c = random_2q_circuit rng (min n 5) 40 in
+        let r = Nassc.route coupling c in
+        check (name ^ " nassc routed validly") true (Sabre.check_routed coupling r.circuit)
+      done)
+    devices
+
+let test_nassc_semantics () =
+  let rng = Rng.create 17 in
+  for trial = 1 to 8 do
+    let c = random_2q_circuit rng 4 25 in
+    let coupling = Topology.Devices.linear 5 in
+    let params = { Engine.default_params with seed = 100 + trial } in
+    let r = Nassc.route ~params coupling c in
+    check "nassc preserves semantics" true
+      (routing_preserves_semantics r.circuit r.final_layout c)
+  done
+
+let test_nassc_no_swap_gates_left () =
+  let rng = Rng.create 19 in
+  let c = random_2q_circuit rng 5 40 in
+  let r = Nassc.route (Topology.Devices.linear 6) c in
+  checki "swaps all decomposed" 0 (Circuit.gate_count r.circuit "swap")
+
+let test_nassc_disabled_equals_sabre () =
+  (* with every optimization off the two routers must produce the same
+     number of swaps from the same seed *)
+  let rng = Rng.create 23 in
+  let off =
+    { Nassc.enable_2q = false; enable_commute1 = false; enable_commute2 = false;
+      orient_swaps = true; scan_limit = 20 }
+  in
+  for trial = 1 to 5 do
+    let c = random_2q_circuit rng 5 40 in
+    let params = { Engine.default_params with seed = trial } in
+    let rs = Sabre.route ~params (Topology.Devices.linear 6) c in
+    let rn = Nassc.route ~params ~config:off (Topology.Devices.linear 6) c in
+    checki "same swap count" rs.n_swaps rn.n_swaps
+  done
+
+(* ---------- finalize / oriented decomposition ---------- *)
+
+let test_finalize_plain () =
+  let ops =
+    [
+      { Engine.gate = Gate.H; op_qubits = [ 0 ]; tag = Engine.Not_swap };
+      { Engine.gate = Gate.SWAP; op_qubits = [ 0; 1 ]; tag = Engine.Swap_plain };
+    ]
+  in
+  let instrs = Nassc.finalize ops in
+  checki "3 cx + 1 h" 4 (List.length instrs);
+  let c = Circuit.create 2 instrs in
+  let expected =
+    Circuit.create 2
+      [ { gate = Gate.H; qubits = [ 0 ] }; { gate = Gate.SWAP; qubits = [ 0; 1 ] } ]
+  in
+  check "plain finalize unitary" true
+    (Mat.equal_up_to_phase (Circuit.unitary c) (Circuit.unitary expected))
+
+let test_finalize_oriented_moves_1q () =
+  (* cx(0,1); rz on 0; oriented swap: rz must move to wire 1 after the
+     swap, and the decomposition must start with cx(0,1) *)
+  let ops =
+    [
+      { Engine.gate = Gate.CX; op_qubits = [ 0; 1 ]; tag = Engine.Not_swap };
+      { Engine.gate = Gate.RZ 0.7; op_qubits = [ 0 ]; tag = Engine.Not_swap };
+      { Engine.gate = Gate.SWAP; op_qubits = [ 0; 1 ]; tag = Engine.Swap_orient (0, 1) };
+    ]
+  in
+  let instrs = Nassc.finalize ops in
+  let c = Circuit.create 2 instrs in
+  let reference =
+    Circuit.create 2
+      [
+        { gate = Gate.CX; qubits = [ 0; 1 ] };
+        { gate = Gate.RZ 0.7; qubits = [ 0 ] };
+        { gate = Gate.SWAP; qubits = [ 0; 1 ] };
+      ]
+  in
+  check "oriented finalize unitary" true
+    (Mat.equal_up_to_phase (Circuit.unitary c) (Circuit.unitary reference));
+  (* adjacent cx(0,1) cx(0,1) must now be present for cancellation *)
+  (match instrs with
+  | { gate = Gate.CX; qubits = [ 0; 1 ] } :: { gate = Gate.CX; qubits = [ 0; 1 ] } :: _ ->
+      ()
+  | _ -> Alcotest.fail "expected back-to-back cx(0,1)");
+  let optimized = Qpasses.Cancellation.run c in
+  check "cancellation fires" true (Circuit.cx_count optimized < 4)
+
+let test_finalize_oriented_semantics_random () =
+  (* random circuits with oriented swaps keep their unitary *)
+  let rng = Rng.create 31 in
+  for _ = 1 to 10 do
+    let mk_tag () =
+      match Rng.int rng 3 with
+      | 0 -> Engine.Swap_plain
+      | 1 -> Engine.Swap_orient (0, 1)
+      | _ -> Engine.Swap_orient (1, 0)
+    in
+    let ops = ref [] in
+    for _ = 1 to 12 do
+      match Rng.int rng 4 with
+      | 0 ->
+          ops :=
+            { Engine.gate = Gate.H; op_qubits = [ Rng.int rng 2 ]; tag = Engine.Not_swap }
+            :: !ops
+      | 1 ->
+          ops :=
+            { Engine.gate = Gate.CX; op_qubits = [ 0; 1 ]; tag = Engine.Not_swap } :: !ops
+      | 2 ->
+          ops :=
+            { Engine.gate = Gate.SWAP; op_qubits = [ 0; 1 ]; tag = mk_tag () } :: !ops
+      | _ ->
+          ops :=
+            {
+              Engine.gate = Gate.RZ (Rng.float rng 3.0);
+              op_qubits = [ Rng.int rng 2 ];
+              tag = Engine.Not_swap;
+            }
+            :: !ops
+    done;
+    let ops = List.rev !ops in
+    let finalized = Circuit.create 2 (Nassc.finalize ops) in
+    let reference =
+      Circuit.create 2
+        (List.map
+           (fun (op : Engine.out_op) ->
+             { Circuit.gate = op.gate; qubits = op.op_qubits })
+           ops)
+    in
+    check "finalize preserves unitary" true
+      (Mat.equal_up_to_phase (Circuit.unitary finalized) (Circuit.unitary reference))
+  done
+
+(* ---------- pipeline ---------- *)
+
+let test_pipeline_end_to_end_semantics () =
+  let rng = Rng.create 57 in
+  for trial = 1 to 5 do
+    let c = random_2q_circuit rng 4 20 in
+    let coupling = Topology.Devices.linear 5 in
+    let params = { Engine.default_params with seed = 200 + trial } in
+    List.iter
+      (fun router ->
+        let r = Pipeline.transpile ~params ~router coupling c in
+        check "basis output" true (Qpasses.Basis.check r.circuit);
+        match r.final_layout with
+        | Some fl -> check "pipeline preserves semantics" true
+            (routing_preserves_semantics r.circuit fl c)
+        | None -> Alcotest.fail "expected layout")
+      [ Pipeline.Sabre_router; Pipeline.Nassc_router Nassc.default_config ]
+  done
+
+let test_pipeline_baseline_no_layout () =
+  let c = Qbench.Generators.grover 4 in
+  let r = Pipeline.transpile ~router:Pipeline.Full_connectivity Topology.Devices.montreal c in
+  check "no layout for baseline" true (r.initial_layout = None);
+  checki "no swaps" 0 r.n_swaps;
+  check "basis" true (Qpasses.Basis.check r.circuit)
+
+let test_pipeline_grover4_calibration () =
+  (* the original-circuit CNOT count for grover-4 must match the paper: 84 *)
+  let c = Qbench.Generators.grover 4 in
+  let r = Pipeline.transpile ~router:Pipeline.Full_connectivity Topology.Devices.montreal c in
+  check "grover4 original cx close to paper (84)" true (abs (r.cx_total - 84) <= 8)
+
+let test_pipeline_routers_beat_nothing () =
+  (* routed cx >= original cx *)
+  let c = Qbench.Generators.vqe 8 in
+  let coupling = Topology.Devices.montreal in
+  let base = Pipeline.transpile ~router:Pipeline.Full_connectivity coupling c in
+  let sabre = Pipeline.transpile ~router:Pipeline.Sabre_router coupling c in
+  check "routing adds gates" true (sabre.cx_total >= base.cx_total)
+
+let test_nassc_beats_sabre_on_average () =
+  (* headline claim, on a seed-averaged small set; generous margin *)
+  let coupling = Topology.Devices.linear 10 in
+  let total router =
+    List.fold_left
+      (fun acc seed ->
+        let params = { Engine.default_params with seed } in
+        let c = Qbench.Generators.vqe 8 in
+        let r = Pipeline.transpile ~params ~router coupling c in
+        acc + r.cx_total)
+      0 [ 1; 2; 3 ]
+  in
+  let s = total Pipeline.Sabre_router in
+  let n = total (Pipeline.Nassc_router Nassc.default_config) in
+  check "nassc no worse than sabre on vqe8/linear" true (n <= s)
+
+(* ---------- HA distance ---------- *)
+
+let test_ha_routing_valid () =
+  let coupling = Topology.Devices.montreal in
+  let cal = Topology.Calibration.generate coupling in
+  let dist = Topology.Calibration.noise_distance_matrix cal in
+  let rng = Rng.create 71 in
+  let c = random_2q_circuit rng 6 40 in
+  let r = Sabre.route ~dist coupling c in
+  check "ha-routed valid" true (Sabre.check_routed coupling r.circuit);
+  let rn = Nassc.route ~dist coupling c in
+  check "nassc-ha valid" true (Sabre.check_routed coupling rn.circuit)
+
+(* ---------- metrics ---------- *)
+
+let test_metrics_deltas () =
+  let row =
+    {
+      Metrics.name = "x"; n_qubits = 4; cx_original = 100; cx_sabre = 200; cx_nassc = 150;
+      depth_original = 50; depth_sabre = 100; depth_nassc = 80; time_sabre = 1.0;
+      time_nassc = 1.3;
+    }
+  in
+  checki "cx add sabre" 100 (Metrics.cx_add_sabre row);
+  checki "cx add nassc" 50 (Metrics.cx_add_nassc row);
+  Alcotest.(check (float 1e-9)) "delta total" 0.25 (Metrics.delta_cx_total row);
+  Alcotest.(check (float 1e-9)) "delta add" 0.5 (Metrics.delta_cx_add row);
+  Alcotest.(check (float 1e-9)) "time ratio" 1.3 (Metrics.time_ratio row)
+
+let test_metrics_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean of zeros" 0.0 (Metrics.geometric_mean [ 0.0; 0.0 ]);
+  let g = Metrics.geometric_mean [ 0.5; 0.5 ] in
+  Alcotest.(check (float 1e-9)) "geomean of halves" 0.5 g;
+  (* mixed signs stay sane *)
+  let g2 = Metrics.geometric_mean [ 0.5; -0.5 ] in
+  check "mixed in range" true (g2 > -0.5 && g2 < 0.5)
+
+let () =
+  Alcotest.run "qroute"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "full connectivity" `Quick test_fully_connected_no_swaps;
+          Alcotest.test_case "rejects wide gates" `Quick test_route_rejects_wide_gates;
+          Alcotest.test_case "layout validation" `Quick test_mapping_layout_validation;
+        ] );
+      ( "sabre",
+        [
+          Alcotest.test_case "validity" `Quick test_sabre_validity;
+          Alcotest.test_case "semantics" `Quick test_sabre_semantics;
+          Alcotest.test_case "layout permutation" `Quick test_sabre_layout_is_permutation;
+        ] );
+      ( "nassc",
+        [
+          Alcotest.test_case "validity" `Quick test_nassc_validity;
+          Alcotest.test_case "semantics" `Quick test_nassc_semantics;
+          Alcotest.test_case "swaps decomposed" `Quick test_nassc_no_swap_gates_left;
+          Alcotest.test_case "disabled equals sabre" `Quick test_nassc_disabled_equals_sabre;
+        ] );
+      ( "finalize",
+        [
+          Alcotest.test_case "plain" `Quick test_finalize_plain;
+          Alcotest.test_case "oriented moves 1q" `Quick test_finalize_oriented_moves_1q;
+          Alcotest.test_case "random semantics" `Quick test_finalize_oriented_semantics_random;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "end to end semantics" `Quick test_pipeline_end_to_end_semantics;
+          Alcotest.test_case "baseline" `Quick test_pipeline_baseline_no_layout;
+          Alcotest.test_case "grover4 calibration" `Quick test_pipeline_grover4_calibration;
+          Alcotest.test_case "routing adds gates" `Quick test_pipeline_routers_beat_nothing;
+          Alcotest.test_case "nassc vs sabre" `Quick test_nassc_beats_sabre_on_average;
+        ] );
+      ("ha", [ Alcotest.test_case "noise-aware routing" `Quick test_ha_routing_valid ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "deltas" `Quick test_metrics_deltas;
+          Alcotest.test_case "geomean" `Quick test_metrics_geomean;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+open Mathkit
+open Qcircuit
+open Qgate
+open Qsim
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ---------- statevector ---------- *)
+
+let test_initial_state () =
+  let s = State.create 3 in
+  checkf "all zeros prob" 1.0 (State.probability s 0);
+  checkf "norm" 1.0 (State.norm s)
+
+let test_bell () =
+  let s = State.create 2 in
+  State.apply_gate s Gate.H [ 0 ];
+  State.apply_gate s Gate.CX [ 0; 1 ];
+  checkf "p(00)" 0.5 (State.probability s 0b00);
+  checkf "p(11)" 0.5 (State.probability s 0b11);
+  checkf "p(01)" 0.0 (State.probability s 0b01)
+
+let test_ghz () =
+  let n = 6 in
+  let s = State.create n in
+  State.apply_gate s Gate.H [ 0 ];
+  for i = 0 to n - 2 do
+    State.apply_gate s Gate.CX [ i; i + 1 ]
+  done;
+  checkf "p(0...0)" 0.5 (State.probability s 0);
+  checkf "p(1...1)" 0.5 (State.probability s ((1 lsl n) - 1));
+  checkf "norm" 1.0 (State.norm s)
+
+let test_x_flips () =
+  let s = State.create 3 in
+  State.apply_gate s Gate.X [ 1 ];
+  (* qubit 1 is the middle bit (qubit 0 = msb) *)
+  checkf "p(010)" 1.0 (State.probability s 0b010)
+
+let test_against_dense_unitary () =
+  (* the simulator must agree with the dense-matrix semantics *)
+  let rng = Rng.create 2024 in
+  for _ = 1 to 10 do
+    let n = 4 in
+    let b = Circuit.Builder.create n in
+    for _ = 1 to 20 do
+      match Rng.int rng 5 with
+      | 0 -> Circuit.Builder.add b Gate.H [ Rng.int rng n ]
+      | 1 -> Circuit.Builder.add b (Gate.RY (Rng.float rng 6.0)) [ Rng.int rng n ]
+      | 2 -> Circuit.Builder.add b Gate.T [ Rng.int rng n ]
+      | 3 ->
+          let a = Rng.int rng n in
+          let c = (a + 1 + Rng.int rng (n - 1)) mod n in
+          Circuit.Builder.add b Gate.CX [ a; c ]
+      | _ ->
+          let a = Rng.int rng n in
+          let c = (a + 1 + Rng.int rng (n - 1)) mod n in
+          Circuit.Builder.add b (Gate.CP (Rng.float rng 3.0)) [ a; c ]
+    done;
+    let c = Circuit.Builder.circuit b in
+    let s = State.create n in
+    State.apply_circuit s c;
+    let u = Circuit.unitary c in
+    let v0 = Array.init (1 lsl n) (fun i -> if i = 0 then Cx.one else Cx.zero) in
+    let expected = Mat.apply_vec u v0 in
+    for i = 0 to (1 lsl n) - 1 do
+      check "amplitude matches dense" true (Cx.approx ~eps:1e-8 (State.amplitude s i) expected.(i))
+    done
+  done
+
+let test_generic_kernel_ccx () =
+  let s = State.create 3 in
+  State.apply_gate s Gate.X [ 0 ];
+  State.apply_gate s Gate.X [ 1 ];
+  State.apply_gate s Gate.CCX [ 0; 1; 2 ];
+  checkf "toffoli fires" 1.0 (State.probability s 0b111);
+  let s2 = State.create 3 in
+  State.apply_gate s2 Gate.X [ 0 ];
+  State.apply_gate s2 Gate.CCX [ 0; 1; 2 ];
+  checkf "toffoli blocked" 1.0 (State.probability s2 0b100)
+
+let test_adder_computes_sum () =
+  (* drive the Cuccaro adder classically: check a + b appears on the b
+     register.  Layout: [cin; a(4); b(4); cout], inputs prepared by the
+     generator: a = 0b0101 (bits 0,2 set -> value 5), b = 0b1001-> bits 0,3
+     (values in little-endian bit index) *)
+  let c = Qbench.Generators.adder 10 in
+  let s = State.create 10 in
+  State.apply_circuit s c;
+  let outcome = State.most_likely s in
+  checkf "classical outcome deterministic" 1.0 (State.probability s outcome);
+  (* decode: qubit q is bit (9 - q) of the index *)
+  let bit q = (outcome lsr (9 - q)) land 1 in
+  let a_val = ref 0 and b_val = ref 0 in
+  for i = 0 to 3 do
+    (* generator sets a_i for even i, b_i for i mod 3 = 0 *)
+    if i mod 2 = 0 then a_val := !a_val lor (1 lsl i);
+    if i mod 3 = 0 then b_val := !b_val lor (1 lsl i)
+  done;
+  let sum = !a_val + !b_val in
+  let result = ref 0 in
+  for i = 0 to 3 do
+    result := !result lor (bit (1 + 4 + i) lsl i)
+  done;
+  result := !result lor (bit 9 lsl 4);
+  checki "cuccaro adds" sum !result;
+  (* the a register must be restored *)
+  let a_after = ref 0 in
+  for i = 0 to 3 do
+    a_after := !a_after lor (bit (1 + i) lsl i)
+  done;
+  checki "a register restored" !a_val !a_after
+
+let test_sampling_statistics () =
+  let s = State.create 1 in
+  State.apply_gate s Gate.H [ 0 ];
+  let rng = Rng.create 5 in
+  let ones = ref 0 in
+  let n = 4000 in
+  for _ = 1 to n do
+    if State.sample s rng = 1 then incr ones
+  done;
+  let f = float_of_int !ones /. float_of_int n in
+  check "roughly half ones" true (Float.abs (f -. 0.5) < 0.05)
+
+(* ---------- noise ---------- *)
+
+let coupling5 = Topology.Devices.linear 5
+let cal5 = Topology.Calibration.generate coupling5
+
+let test_esp_decreases_with_gates () =
+  let model = Noise.of_calibration cal5 in
+  let mk k =
+    let b = Circuit.Builder.create 5 in
+    for _ = 1 to k do
+      Circuit.Builder.add b Gate.CX [ 0; 1 ]
+    done;
+    Circuit.Builder.circuit b
+  in
+  let e1 = Noise.esp model (mk 5) ~measured:[ 0; 1 ]
+  and e2 = Noise.esp model (mk 50) ~measured:[ 0; 1 ] in
+  check "more gates, lower esp" true (e2 < e1);
+  check "esp in (0,1)" true (e1 > 0.0 && e1 < 1.0)
+
+let test_trivial_noise_is_noiseless () =
+  let model = Noise.trivial ~n:3 in
+  let b = Circuit.Builder.create 3 in
+  Circuit.Builder.add b Gate.X [ 0 ];
+  Circuit.Builder.add b Gate.CX [ 0; 1 ];
+  let c = Circuit.Builder.circuit b in
+  checkf "esp is one" 1.0 (Noise.esp model c ~measured:[ 0; 1; 2 ]);
+  let rng = Rng.create 3 in
+  let outcomes = Noise.sample model c ~shots:200 rng in
+  check "every outcome is 110" true (Array.for_all (( = ) 0b110) outcomes)
+
+let test_noisy_sampling_degrades () =
+  let model = Noise.of_calibration cal5 in
+  let b = Circuit.Builder.create 5 in
+  for _ = 1 to 10 do
+    Circuit.Builder.add b Gate.X [ 0 ];
+    Circuit.Builder.add b Gate.X [ 0 ]
+  done;
+  Circuit.Builder.add b Gate.X [ 0 ];
+  let c = Circuit.Builder.circuit b in
+  let rng = Rng.create 9 in
+  let outcomes = Noise.sample model c ~shots:2000 rng in
+  let hits = Array.fold_left (fun acc o -> if o = 0b10000 then acc + 1 else acc) 0 outcomes in
+  let rate = float_of_int hits /. 2000.0 in
+  check "mostly correct" true (rate > 0.5);
+  check "noise visible" true (rate < 0.999)
+
+(* ---------- success experiments ---------- *)
+
+let test_compact () =
+  let c =
+    Circuit.create 10
+      [ { gate = Gate.H; qubits = [ 3 ] }; { gate = Gate.CX; qubits = [ 3; 7 ] } ]
+  in
+  let small, where = Success.compact c in
+  checki "two wires" 2 (Circuit.n_qubits small);
+  checki "wire 3 -> 0" 0 where.(3);
+  checki "wire 7 -> 1" 1 where.(7);
+  checki "untouched" (-1) where.(0)
+
+let test_ideal_outcome_bv () =
+  (* BV with all-ones secret must output all-ones on the data qubits *)
+  let c = Qbench.Generators.bernstein_vazirani 5 in
+  let out = Success.ideal_outcome c in
+  (* data qubits 0..3 all 1 *)
+  for l = 0 to 3 do
+    checki "bv data bit" 1 ((out lsr (4 - l)) land 1)
+  done
+
+let test_routed_success_end_to_end () =
+  let coupling = Topology.Devices.montreal in
+  let cal = Topology.Calibration.generate coupling in
+  let logical = Qbench.Generators.bernstein_vazirani 5 in
+  let r =
+    Qroute.Pipeline.transpile ~router:Qroute.Pipeline.Sabre_router coupling logical
+  in
+  match r.final_layout with
+  | None -> Alcotest.fail "expected layout"
+  | Some fl ->
+      let o =
+        Success.routed_success ~shots:512 ~cal ~ideal:logical ~routed:r.circuit
+          ~final_layout:fl ()
+      in
+      check "success rate sane" true (o.success_rate > 0.3 && o.success_rate <= 1.0);
+      check "esp sane" true (o.esp > 0.0 && o.esp < 1.0)
+
+let test_routed_success_noiseless_perfect () =
+  (* with a noise-free calibration... closest: compare against trivial model
+     via esp=1 path is not exposed; instead check BV on full connectivity
+     where routing is the identity *)
+  let coupling = Topology.Devices.fully_connected 5 in
+  let cal = Topology.Calibration.generate coupling in
+  ignore cal;
+  let logical = Qbench.Generators.bernstein_vazirani 5 in
+  let r =
+    Qroute.Pipeline.transpile ~router:Qroute.Pipeline.Sabre_router coupling logical
+  in
+  check "no swaps" true (r.n_swaps = 0)
+
+let () =
+  Alcotest.run "qsim"
+    [
+      ( "state",
+        [
+          Alcotest.test_case "initial" `Quick test_initial_state;
+          Alcotest.test_case "bell" `Quick test_bell;
+          Alcotest.test_case "ghz" `Quick test_ghz;
+          Alcotest.test_case "x flips" `Quick test_x_flips;
+          Alcotest.test_case "matches dense" `Quick test_against_dense_unitary;
+          Alcotest.test_case "generic kernel" `Quick test_generic_kernel_ccx;
+          Alcotest.test_case "cuccaro adder" `Quick test_adder_computes_sum;
+          Alcotest.test_case "sampling stats" `Quick test_sampling_statistics;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "esp monotone" `Quick test_esp_decreases_with_gates;
+          Alcotest.test_case "trivial noiseless" `Quick test_trivial_noise_is_noiseless;
+          Alcotest.test_case "noisy degrades" `Quick test_noisy_sampling_degrades;
+        ] );
+      ( "success",
+        [
+          Alcotest.test_case "compact" `Quick test_compact;
+          Alcotest.test_case "bv ideal outcome" `Quick test_ideal_outcome_bv;
+          Alcotest.test_case "routed success" `Quick test_routed_success_end_to_end;
+          Alcotest.test_case "full connectivity" `Quick test_routed_success_noiseless_perfect;
+        ] );
+    ]

@@ -1,0 +1,156 @@
+(* Numerical stress tests for the KAK decomposition at Weyl-chamber
+   boundaries and degenerate spectra - the places eigensolvers break. *)
+
+open Mathkit
+open Qgate
+open Qpasses
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let q = Float.pi /. 4.0
+
+let roundtrip_ok u =
+  let r = Weyl.decompose u in
+  Mat.frobenius_distance (Weyl.reconstruct r) u < 1e-6
+
+let coords_close u (x, y, z) =
+  let x', y', z' = Weyl.coords u in
+  Float.abs (x -. x') < 1e-6 && Float.abs (y -. y') < 1e-6 && Float.abs (z -. z') < 1e-6
+
+(* chamber faces and edges *)
+let boundary_points =
+  [
+    ("origin", (0.0, 0.0, 0.0));
+    ("cx vertex", (q, 0.0, 0.0));
+    ("swap vertex", (q, q, q));
+    ("iswap edge", (q, q, 0.0));
+    ("x=y face", (0.3, 0.3, 0.1));
+    ("y=|z| face", (0.5, 0.2, 0.2));
+    ("y=-z mirror", (q, 0.2, -0.2));
+    ("x=pi/4 face", (q, 0.3, 0.1));
+    ("tiny coords", (1e-4, 5e-5, 1e-5));
+    ("near swap", (q -. 1e-5, q -. 1e-5, q -. 2e-5));
+  ]
+
+let test_boundary_roundtrips () =
+  List.iter
+    (fun (name, (x, y, z)) ->
+      let u = Weyl.canonical_gate x y z in
+      check (name ^ " roundtrip") true (roundtrip_ok u))
+    boundary_points
+
+let test_boundary_coords_recovered () =
+  (* canonical gates built from chamber points must report those points
+     back (the canonicalizer must not move interior/face representatives,
+     except the mirror identification at x = pi/4 where z >= 0 is chosen) *)
+  List.iter
+    (fun (name, (x, y, z)) ->
+      let u = Weyl.canonical_gate x y z in
+      let expected = if Float.abs (x -. q) < 1e-9 && z < 0.0 then (x, y, -.z) else (x, y, z) in
+      check (name ^ " coords") true (coords_close u expected))
+    boundary_points
+
+let test_boundary_dressed_with_locals () =
+  (* the same points survive random local dressing *)
+  let rng = Rng.create 777 in
+  List.iter
+    (fun (name, (x, y, z)) ->
+      let u = Weyl.canonical_gate x y z in
+      let l = Mat.kron (Randmat.su2 rng) (Randmat.su2 rng) in
+      let r = Mat.kron (Randmat.su2 rng) (Randmat.su2 rng) in
+      let dressed = Mat.mul l (Mat.mul u r) in
+      check (name ^ " dressed roundtrip") true (roundtrip_ok dressed);
+      let expected = if Float.abs (x -. q) < 1e-9 && z < 0.0 then (x, y, -.z) else (x, y, z) in
+      check (name ^ " dressed coords") true (coords_close dressed expected))
+    boundary_points
+
+let test_boundary_synthesis () =
+  List.iter
+    (fun (name, (x, y, z)) ->
+      let u = Weyl.canonical_gate x y z in
+      let ops = Synth2q.synthesize u in
+      check (name ^ " synthesis") true
+        (Mat.equal_up_to_phase (Synth2q.ops_unitary 2 ops) u))
+    boundary_points
+
+let test_degenerate_spectra () =
+  (* unitaries whose m^T m has degenerate eigenvalues exercise the
+     simultaneous-diagonalization path *)
+  let cases =
+    [
+      ("identity", Mat.identity 4);
+      ("cx", Unitary.of_gate Gate.CX);
+      ("cz", Unitary.of_gate Gate.CZ);
+      ("swap", Unitary.of_gate Gate.SWAP);
+      ("cx.swap", Mat.mul (Unitary.of_gate Gate.CX) (Unitary.of_gate Gate.SWAP));
+      ("x(x)x", Mat.kron (Unitary.of_gate Gate.X) (Unitary.of_gate Gate.X));
+      ("h(x)h", Mat.kron (Unitary.of_gate Gate.H) (Unitary.of_gate Gate.H));
+      ("z(x)i", Mat.kron (Unitary.of_gate Gate.Z) (Mat.identity 2));
+    ]
+  in
+  List.iter (fun (name, u) -> check (name ^ " roundtrip") true (roundtrip_ok u)) cases
+
+let test_phase_insensitivity () =
+  (* global phases must not move the coordinates *)
+  let rng = Rng.create 31337 in
+  for _ = 1 to 15 do
+    let u = Randmat.unitary rng 4 in
+    let x, y, z = Weyl.coords u in
+    let phi = Rng.float rng 6.28 in
+    check "phase invariant" true (coords_close (Mat.scale (Cx.exp_i phi) u) (x, y, z))
+  done
+
+let test_transpose_and_adjoint_classes () =
+  (* U and U^dagger need the same CNOT count (inverse circuits) *)
+  let rng = Rng.create 4242 in
+  for _ = 1 to 15 do
+    let u = Randmat.unitary rng 4 in
+    checki "adjoint same class" (Weyl.cnot_cost u) (Weyl.cnot_cost (Mat.adjoint u))
+  done
+
+let test_fast_classifier_on_boundaries () =
+  (* the two classifiers use different numeric scales (angles vs traces);
+     within ~1e-5 of a class boundary they may legitimately disagree, so
+     exact agreement is only required at points clear of boundaries *)
+  let clear_of_boundary (x, _y, z) =
+    let margin v = Float.abs v > 1e-3 || Float.abs v < 1e-9 in
+    margin z && (Float.abs (x -. q) > 1e-3 || Float.abs (x -. q) < 1e-9)
+  in
+  List.iter
+    (fun (name, (x, y, z)) ->
+      if clear_of_boundary (x, y, z) then
+        let u = Weyl.canonical_gate x y z in
+        checki (name ^ " fast=chamber") (Weyl.cnot_cost u) (Weyl.cnot_cost_fast u))
+    boundary_points
+
+let test_synthesis_count_optimality_spotchecks () =
+  (* the emitted count equals the class, never more *)
+  let count u =
+    List.length (List.filter (fun (g, _) -> g = Gate.CX) (Synth2q.synthesize u))
+  in
+  List.iter
+    (fun (_, (x, y, z)) ->
+      let u = Weyl.canonical_gate x y z in
+      checki "count = class" (Weyl.cnot_cost u) (count u))
+    boundary_points
+
+let () =
+  Alcotest.run "weyl_boundary"
+    [
+      ( "chamber boundaries",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_boundary_roundtrips;
+          Alcotest.test_case "coords recovered" `Quick test_boundary_coords_recovered;
+          Alcotest.test_case "with locals" `Quick test_boundary_dressed_with_locals;
+          Alcotest.test_case "synthesis" `Quick test_boundary_synthesis;
+        ] );
+      ( "degenerate",
+        [
+          Alcotest.test_case "spectra" `Quick test_degenerate_spectra;
+          Alcotest.test_case "phase invariance" `Quick test_phase_insensitivity;
+          Alcotest.test_case "adjoint class" `Quick test_transpose_and_adjoint_classes;
+          Alcotest.test_case "fast classifier" `Quick test_fast_classifier_on_boundaries;
+          Alcotest.test_case "count optimality" `Quick test_synthesis_count_optimality_spotchecks;
+        ] );
+    ]
