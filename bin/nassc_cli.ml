@@ -23,6 +23,17 @@ let seed_arg =
   let doc = "Routing seed." in
   Arg.(value & opt int 11 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
 
+let trials_arg =
+  let doc =
+    "Run N independently-seeded routing trials in parallel and keep the best result \
+     (lowest cx_total, then depth).  1 reproduces the paper's single-shot pipeline."
+  in
+  Arg.(value & opt int 1 & info [ "trials" ] ~docv:"N" ~doc)
+
+let workers_arg =
+  let doc = "Domain pool size for --trials (default: the machine's core count)." in
+  Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"W" ~doc)
+
 let qasm_arg =
   let doc = "Print the transpiled circuit as OpenQASM 2." in
   Arg.(value & flag & info [ "qasm" ] ~doc)
@@ -37,9 +48,35 @@ let router_of_string cal = function
   | "none" -> Ok Qroute.Pipeline.Full_connectivity
   | r -> Error ("unknown router " ^ r)
 
-let transpile_cmd benchmark topology size router seed qasm =
+let check_pool_args trials workers =
+  if trials < 1 then Error "--trials must be >= 1"
+  else
+    match workers with
+    | Some w when w < 1 -> Error "--workers must be >= 1"
+    | _ -> Ok ()
+
+let print_trial_stats (r : Qroute.Pipeline.result) =
+  if List.length r.trial_stats > 1 then begin
+    Printf.printf "trials:          %d\n" (List.length r.trial_stats);
+    Printf.printf "  %-6s %-10s %8s %6s %6s %9s  %s\n" "trial" "seed" "cx" "depth" "swaps"
+      "wall(s)" "status";
+    List.iter
+      (fun (s : Qroute.Trials.stat) ->
+        match s.error with
+        | Some msg ->
+            Printf.printf "  %-6d %-10d %8s %6s %6s %9.3f  failed: %s\n" s.trial s.seed "-"
+              "-" "-" s.wall_time msg
+        | None ->
+            Printf.printf "  %-6d %-10d %8d %6d %6d %9.3f  ok\n" s.trial s.seed s.cx_total
+              s.depth s.n_swaps s.wall_time)
+      r.trial_stats
+  end
+
+let transpile_cmd benchmark topology size router seed trials workers qasm =
   match
-    (try Ok (Qbench.Suite.find benchmark) with Not_found -> Error ("unknown benchmark " ^ benchmark))
+    Result.bind (check_pool_args trials workers) (fun () ->
+        try Ok (Qbench.Suite.find benchmark)
+        with Not_found -> Error ("unknown benchmark " ^ benchmark))
   with
   | Error e ->
       prerr_endline e;
@@ -59,14 +96,19 @@ let transpile_cmd benchmark topology size router seed qasm =
       | Ok router ->
           let circuit = entry.build () in
           let params = { Qroute.Engine.default_params with seed } in
-          let r = Qroute.Pipeline.transpile ~params ~calibration:cal ~router coupling circuit in
+          let r =
+            Qroute.Pipeline.transpile ~params ~calibration:cal ~trials ?workers ~router
+              coupling circuit
+          in
           Printf.printf "benchmark:       %s (%d qubits)\n" entry.name entry.n_qubits;
           Printf.printf "topology:        %s (%d qubits)\n" topology
             (Topology.Coupling.n_qubits coupling);
           Printf.printf "cx_total:        %d\n" r.cx_total;
           Printf.printf "depth:           %d\n" r.depth;
           Printf.printf "swaps inserted:  %d\n" r.n_swaps;
-          Printf.printf "transpile time:  %.3f s\n" r.transpile_time;
+          Printf.printf "wall time:       %.3f s\n" r.transpile_time;
+          Printf.printf "cpu time:        %.3f s\n" r.cpu_time;
+          print_trial_stats r;
           (match r.final_layout with
           | Some fl ->
               Printf.printf "final layout:    %s\n"
@@ -80,8 +122,10 @@ let file_arg =
   let doc = "OpenQASM 2 file to transpile." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
-let transpile_file_cmd path topology size router seed qasm =
-  match (try Ok (Qcircuit.Qasm_parser.parse_file path) with
+let transpile_file_cmd path topology size router seed trials workers qasm =
+  match
+    Result.bind (check_pool_args trials workers) (fun () ->
+        try Ok (Qcircuit.Qasm_parser.parse_file path) with
         | Qcircuit.Qasm_parser.Parse_error m -> Error m
         | Sys_error m -> Error m)
   with
@@ -102,13 +146,18 @@ let transpile_file_cmd path topology size router seed qasm =
           1
       | Ok router ->
           let params = { Qroute.Engine.default_params with seed } in
-          let r = Qroute.Pipeline.transpile ~params ~calibration:cal ~router coupling circuit in
+          let r =
+            Qroute.Pipeline.transpile ~params ~calibration:cal ~trials ?workers ~router
+              coupling circuit
+          in
           Printf.printf "input:           %s (%d qubits, %d ops)\n" path
             (Qcircuit.Circuit.n_qubits circuit)
             (Qcircuit.Circuit.size circuit);
           Printf.printf "cx_total:        %d\n" r.cx_total;
           Printf.printf "depth:           %d\n" r.depth;
           Printf.printf "swaps inserted:  %d\n" r.n_swaps;
+          Printf.printf "wall time:       %.3f s\n" r.transpile_time;
+          print_trial_stats r;
           if qasm then print_string (Qcircuit.Qasm.to_string r.circuit);
           0
     end
@@ -124,7 +173,7 @@ let list_cmd () =
 let transpile_t =
   Term.(
     const transpile_cmd $ benchmark_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
-    $ qasm_arg)
+    $ trials_arg $ workers_arg $ qasm_arg)
 
 let cmd_transpile =
   Cmd.v (Cmd.info "transpile" ~doc:"Transpile a benchmark and report metrics") transpile_t
@@ -134,7 +183,7 @@ let cmd_list = Cmd.v (Cmd.info "list" ~doc:"List available benchmarks") Term.(co
 let transpile_file_t =
   Term.(
     const transpile_file_cmd $ file_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
-    $ qasm_arg)
+    $ trials_arg $ workers_arg $ qasm_arg)
 
 let cmd_transpile_file =
   Cmd.v

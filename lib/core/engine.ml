@@ -56,6 +56,15 @@ type result = {
   n_swaps : int;
 }
 
+(* The canonical seed-derived streams.  [route_rng] replays the stream the
+   engine historically created inside [route_once] ([Rng.create seed]);
+   [layout_rng] the one [find_layout] used for its initial permutation
+   ([seed + 7919]).  Keeping these as the defaults means a fixed seed
+   reproduces pre-refactor outputs bit-for-bit, while callers (the trials
+   engine, tests) can now inject their own streams. *)
+let route_rng params = Rng.create params.seed
+let layout_rng params = Rng.create (params.seed + 7919)
+
 let two_qubit_front dag tr mapping =
   List.filter_map
     (fun id ->
@@ -67,7 +76,7 @@ let two_qubit_front dag tr mapping =
       else None)
     (Qcircuit.Dag.Traversal.front tr)
 
-let route_once params coupling ~dist ~bonus circuit init_layout =
+let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
   let n_phys = Coupling.n_qubits coupling in
   let n_log = Qcircuit.Circuit.n_qubits circuit in
   if n_log > n_phys then invalid_arg "Engine.route_once: circuit larger than device";
@@ -76,7 +85,6 @@ let route_once params coupling ~dist ~bonus circuit init_layout =
       if Gate.arity i.gate > 2 && not (Gate.is_directive i.gate) then
         invalid_arg "Engine.route_once: lower gates to <=2 qubits before routing")
     (Qcircuit.Circuit.instrs circuit);
-  let rng = Rng.create params.seed in
   let mapping = mapping_of_layout ~n_phys init_layout in
   let initial_layout = Array.copy mapping.l2p in
   let dag = Qcircuit.Dag.of_circuit circuit in
@@ -235,16 +243,20 @@ let reverse_circuit c =
           (fun (i : Qcircuit.Circuit.instr) -> i.gate <> Gate.Measure)
           (Qcircuit.Circuit.instrs c)))
 
-let find_layout params coupling ~dist ~bonus circuit =
+let find_layout params coupling ~rng ~dist ~bonus circuit =
   let n_phys = Coupling.n_qubits coupling in
   let n_log = Qcircuit.Circuit.n_qubits circuit in
-  let rng = Rng.create (params.seed + 7919) in
+  if n_log > n_phys then invalid_arg "Engine.find_layout: circuit larger than device";
   let perm = Rng.permutation rng n_phys in
   let layout = ref (Array.init n_log (fun l -> perm.(l))) in
   let fwd = circuit and bwd = reverse_circuit circuit in
   for _ = 1 to params.iterations do
-    let r1 = route_once params coupling ~dist ~bonus fwd !layout in
-    let r2 = route_once params coupling ~dist ~bonus bwd r1.final_layout in
+    (* each refinement pass replays a fresh route stream, matching the
+       historical behavior (and SABRE's, where every pass is seeded alike) *)
+    let r1 = route_once params coupling ~rng:(route_rng params) ~dist ~bonus fwd !layout in
+    let r2 =
+      route_once params coupling ~rng:(route_rng params) ~dist ~bonus bwd r1.final_layout
+    in
     layout := r2.final_layout
   done;
   !layout

@@ -58,27 +58,44 @@ type result = {
   n_swaps : int;
 }
 
+val route_rng : params -> Mathkit.Rng.t
+(** The canonical routing stream for a seed: [Rng.create params.seed],
+    exactly the stream [route_once] historically created internally.
+    [route_once ~rng:(route_rng params)] reproduces pre-refactor output
+    bit-for-bit. *)
+
+val layout_rng : params -> Mathkit.Rng.t
+(** The canonical layout-permutation stream: [Rng.create (params.seed +
+    7919)], as [find_layout] historically used. *)
+
 val route_once :
   params ->
   Topology.Coupling.t ->
+  rng:Mathkit.Rng.t ->
   dist:float array array ->
   bonus:bonus_fn ->
   Qcircuit.Circuit.t ->
   int array ->
   result
 (** One routing pass from a given initial layout (logical -> physical).
-    The input circuit must contain only <=2-qubit gates and directives.
+    All tie-breaking randomness is drawn from [rng], which the caller owns;
+    pass {!route_rng} for the canonical seeded stream, or an independent
+    per-trial stream for multi-trial search.  The input circuit must contain
+    only <=2-qubit gates and directives.
     @raise Invalid_argument otherwise, or when the layout is unusable. *)
 
 val find_layout :
   params ->
   Topology.Coupling.t ->
+  rng:Mathkit.Rng.t ->
   dist:float array array ->
   bonus:bonus_fn ->
   Qcircuit.Circuit.t ->
   int array
 (** Random initial layout refined by reverse-traversal rounds (the paper
-    reuses SABRE's bidirectional scheme). *)
+    reuses SABRE's bidirectional scheme).  [rng] drives the initial
+    permutation; each refinement pass replays the canonical {!route_rng}
+    stream so a fixed seed reproduces historical layouts exactly. *)
 
 val to_circuit : n_phys:int -> out_op list -> Qcircuit.Circuit.t
 (** Materialize routed ops (SWAP tags ignored: swaps stay SWAP gates). *)

@@ -166,8 +166,14 @@ let route ?(params = Engine.default_params) ?(config = default_config) ?dist cou
   let b = bonus config in
   (* layout search uses the plain heuristic (same mapping algorithm as
      SABRE, Section IV-A) *)
-  let layout = Engine.find_layout params coupling ~dist ~bonus:Engine.zero_bonus circuit in
-  let r = Engine.route_once params coupling ~dist ~bonus:b circuit layout in
+  let layout =
+    Engine.find_layout params coupling ~rng:(Engine.layout_rng params) ~dist
+      ~bonus:Engine.zero_bonus circuit
+  in
+  let r =
+    Engine.route_once params coupling ~rng:(Engine.route_rng params) ~dist ~bonus:b circuit
+      layout
+  in
   let instrs = finalize r.routed in
   {
     Sabre.circuit = Qcircuit.Circuit.create (Topology.Coupling.n_qubits coupling) instrs;

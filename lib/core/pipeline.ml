@@ -14,8 +14,10 @@ type result = {
   depth : int;
   n_swaps : int;
   transpile_time : float;
+  cpu_time : float;
   initial_layout : int array option;
   final_layout : int array option;
+  trial_stats : Trials.stat list;
 }
 
 let lower_to_2q c =
@@ -49,10 +51,22 @@ let noise_dist calibration coupling =
   | Some cal -> Topology.Calibration.noise_distance_matrix cal
   | None -> Topology.Calibration.noise_distance_matrix (Topology.Calibration.generate coupling)
 
-let transpile ?(params = Engine.default_params) ?calibration ~router coupling circuit =
-  let t0 = Sys.time () in
+let transpile ?(params = Engine.default_params) ?calibration ?(trials = 1) ?workers ~router
+    coupling circuit =
+  if trials < 1 then invalid_arg "Pipeline.transpile: trials must be >= 1";
+  let wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  (* shared read-only inputs, computed once before the fan-out: the
+     pre-optimized logical circuit and (for the HA routers) the noise-aware
+     distance matrix.  Per-trial mutable state (mappings, decay, RNG) lives
+     inside the routers, domain-locally. *)
   let logical = pre_optimize (lower_to_2q circuit) in
-  let routed, n_swaps, layouts =
+  let dist_ha =
+    match router with
+    | Sabre_ha | Nassc_ha _ -> Some (noise_dist calibration coupling)
+    | _ -> None
+  in
+  let route_with params =
     match router with
     | Full_connectivity -> (logical, 0, None)
     | Sabre_router ->
@@ -62,25 +76,37 @@ let transpile ?(params = Engine.default_params) ?calibration ~router coupling ci
         let r = Nassc.route ~params ~config coupling logical in
         (r.circuit, r.n_swaps, Some (r.initial_layout, r.final_layout))
     | Astar_router ->
-        let r = Astar.route ~params:{ Astar.default_params with seed = params.seed } coupling logical in
+        let r =
+          Astar.route ~params:{ Astar.default_params with seed = params.Engine.seed }
+            coupling logical
+        in
         (Sabre.decompose_swaps r.circuit, r.n_swaps, Some (r.initial_layout, r.final_layout))
     | Sabre_ha ->
-        let dist = noise_dist calibration coupling in
+        let dist = Option.get dist_ha in
         let r = Sabre.route ~params ~dist coupling logical in
         (Sabre.decompose_swaps r.circuit, r.n_swaps, Some (r.initial_layout, r.final_layout))
     | Nassc_ha config ->
-        let dist = noise_dist calibration coupling in
+        let dist = Option.get dist_ha in
         let r = Nassc.route ~params ~config ~dist coupling logical in
         (r.circuit, r.n_swaps, Some (r.initial_layout, r.final_layout))
   in
-  let final = post_optimize routed in
-  let t1 = Sys.time () in
+  let report =
+    Trials.run ?workers ~n:trials ~base_seed:params.Engine.seed
+      ~measure:(fun (final, n_swaps, _) ->
+        (Qcircuit.Circuit.cx_count final, Qcircuit.Circuit.depth final, n_swaps))
+      (fun ~trial:_ ~seed ->
+        let routed, n_swaps, layouts = route_with { params with Engine.seed } in
+        (post_optimize routed, n_swaps, layouts))
+  in
+  let final, n_swaps, layouts = report.Trials.best in
   {
     circuit = final;
-    cx_total = Qcircuit.Circuit.cx_count final;
-    depth = Qcircuit.Circuit.depth final;
+    cx_total = report.Trials.best_stat.Trials.cx_total;
+    depth = report.Trials.best_stat.Trials.depth;
     n_swaps;
-    transpile_time = t1 -. t0;
+    transpile_time = Unix.gettimeofday () -. wall0;
+    cpu_time = Sys.time () -. cpu0;
     initial_layout = Option.map fst layouts;
     final_layout = Option.map snd layouts;
+    trial_stats = report.Trials.stats;
   }

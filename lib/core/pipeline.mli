@@ -19,9 +19,15 @@ type result = {
   cx_total : int;
   depth : int;
   n_swaps : int;
-  transpile_time : float;  (** seconds of CPU time *)
+  transpile_time : float;
+      (** wall-clock seconds for the whole call (meaningful under parallel
+          trials, where CPU time sums across domains) *)
+  cpu_time : float;  (** process CPU seconds, summed over all domains *)
   initial_layout : int array option;
   final_layout : int array option;
+  trial_stats : Trials.stat list;
+      (** per-trial outcomes, in trial order; a single entry when
+          [trials = 1] *)
 }
 
 val lower_to_2q : Qcircuit.Circuit.t -> Qcircuit.Circuit.t
@@ -37,9 +43,20 @@ val post_optimize : Qcircuit.Circuit.t -> Qcircuit.Circuit.t
 val transpile :
   ?params:Engine.params ->
   ?calibration:Topology.Calibration.t ->
+  ?trials:int ->
+  ?workers:int ->
   router:router ->
   Topology.Coupling.t ->
   Qcircuit.Circuit.t ->
   result
 (** Full flow.  For [Full_connectivity] the coupling map is ignored and the
-    circuit stays on its logical qubits. *)
+    circuit stays on its logical qubits.
+
+    [trials] (default 1) runs that many independently seeded routing trials
+    through {!Trials.run} — trial [k] uses seed [params.seed + k *
+    Trials.seed_stride] — and keeps the best post-optimized circuit by
+    [cx_total], ties broken by [depth] then trial index.  The default keeps
+    the paper's single-shot behavior bit-for-bit, which is what the
+    evaluation tables are produced with.  [workers] bounds the domain pool
+    (default [Trials.default_workers ()]); results are identical for any
+    worker count. *)

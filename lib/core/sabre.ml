@@ -15,8 +15,13 @@ let hop_distance coupling =
 let route ?(params = Engine.default_params) ?dist coupling circuit =
   let dist = match dist with Some d -> d | None -> hop_distance coupling in
   let bonus = Engine.zero_bonus in
-  let layout = Engine.find_layout params coupling ~dist ~bonus circuit in
-  let r = Engine.route_once params coupling ~dist ~bonus circuit layout in
+  let layout =
+    Engine.find_layout params coupling ~rng:(Engine.layout_rng params) ~dist ~bonus circuit
+  in
+  let r =
+    Engine.route_once params coupling ~rng:(Engine.route_rng params) ~dist ~bonus circuit
+      layout
+  in
   {
     circuit = Engine.to_circuit ~n_phys:(Coupling.n_qubits coupling) r.routed;
     initial_layout = r.initial_layout;

@@ -2,8 +2,11 @@ open Mathkit
 open Qgate
 
 (* cache of pairwise commutation results, keyed by gate pair + qubit overlap
-   pattern *)
+   pattern.  Shared across domains (the trials engine runs optimization
+   passes in parallel), so every access goes through the lock; entries are
+   pure functions of the key, so a lost race costs only a recompute. *)
 let cache : (string, bool) Hashtbl.t = Hashtbl.create 256
+let cache_lock = Mutex.create ()
 
 let key (g1, qs1) (g2, qs2) =
   let pos q qs = List.mapi (fun i x -> if x = q then Some i else None) qs in
@@ -36,11 +39,11 @@ let commute (g1, qs1) (g2, qs2) =
     | Gate.Unitary2 _, _ | _, Gate.Unitary2 _ -> compute_commute (g1, qs1) (g2, qs2)
     | _ ->
         let k = key (g1, qs1) (g2, qs2) in
-        (match Hashtbl.find_opt cache k with
+        (match Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache k) with
         | Some v -> v
         | None ->
             let v = compute_commute (g1, qs1) (g2, qs2) in
-            Hashtbl.replace cache k v;
+            Mutex.protect cache_lock (fun () -> Hashtbl.replace cache k v);
             v)
 
 type t = {

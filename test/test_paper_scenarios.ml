@@ -23,7 +23,8 @@ let route_with_identity_layout router_bonus circuit =
   let coupling = Topology.Devices.linear 3 in
   let dist = Sabre.hop_distance coupling in
   let params = { Engine.default_params with seed = 1 } in
-  Engine.route_once params coupling ~dist ~bonus:router_bonus circuit [| 0; 1; 2 |]
+  Engine.route_once params coupling ~rng:(Engine.route_rng params) ~dist ~bonus:router_bonus
+    circuit [| 0; 1; 2 |]
 
 let test_figure1_swap_costs_differ () =
   (* Evaluate both SWAP options by hand: insert swap(0,1) or swap(1,2)

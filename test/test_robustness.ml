@@ -93,6 +93,63 @@ let test_single_iteration_layout () =
   in
   check "valid" true (Qroute.Sabre.check_routed coupling r.circuit)
 
+(* ---------- trial-pool failure isolation ---------- *)
+
+exception Injected of int
+
+let test_failing_trials_are_isolated () =
+  (* odd trials raise; the pool must record them and still return every
+     even trial's result, without deadlocking or leaking a domain *)
+  let r =
+    Qroute.Trials.map ~workers:4 ~n:9 (fun k ->
+        if k mod 2 = 1 then raise (Injected k) else k * 10)
+  in
+  Array.iteri
+    (fun k outcome ->
+      match (k mod 2, outcome) with
+      | 0, Ok v -> checki "even trial survives" (k * 10) v
+      | 1, Error (Injected j) -> checki "odd trial captured" k j
+      | _ -> Alcotest.fail "wrong outcome shape")
+    r
+
+let test_failing_bonus_skips_trial () =
+  (* a bonus function that blows up on one trial's stream: the best-of-N
+     run skips that trial per the documented policy and wins with another *)
+  let c = Qbench.Generators.qft 5 in
+  let coupling = Topology.Devices.linear 6 in
+  let dist = Qroute.Sabre.hop_distance coupling in
+  let report =
+    Qroute.Trials.run ~workers:2 ~n:4 ~base_seed:11
+      ~measure:(fun (r : Qroute.Engine.result) ->
+        (3 * r.n_swaps, List.length r.routed, r.n_swaps))
+      (fun ~trial ~seed ->
+        if trial = 2 then failwith "injected bonus failure";
+        let params = { Qroute.Engine.default_params with seed } in
+        let layout =
+          Qroute.Engine.find_layout params coupling ~rng:(Qroute.Engine.layout_rng params)
+            ~dist ~bonus:Qroute.Engine.zero_bonus (Qroute.Pipeline.lower_to_2q c)
+        in
+        Qroute.Engine.route_once params coupling ~rng:(Qroute.Engine.route_rng params) ~dist
+          ~bonus:Qroute.Engine.zero_bonus (Qroute.Pipeline.lower_to_2q c) layout)
+  in
+  checki "all trials accounted for" 4 (List.length report.stats);
+  let failed = List.filter (fun (s : Qroute.Trials.stat) -> s.error <> None) report.stats in
+  checki "exactly the injected failure" 1 (List.length failed);
+  checki "it was trial 2" 2 (List.hd failed).trial;
+  check "winner is a surviving trial" true (report.best_stat.error = None)
+
+let test_all_trials_failing_surfaces_one_error () =
+  (* circuit wider than the device: every trial fails identically, and the
+     multi-trial path raises the same clean error as the single-shot one *)
+  let c = Qbench.Extras.ghz 6 in
+  check "raises Invalid_argument" true
+    (try
+       ignore
+         (Qroute.Pipeline.transpile ~trials:4 ~workers:2
+            ~router:Qroute.Pipeline.Sabre_router (Topology.Devices.linear 5) c);
+       false
+     with Invalid_argument _ -> true)
+
 (* ---------- noise extremes ---------- *)
 
 let test_total_noise_destroys_signal () =
@@ -258,6 +315,13 @@ let () =
           Alcotest.test_case "fills device" `Quick test_circuit_exactly_fills_device;
           Alcotest.test_case "too big" `Quick test_circuit_too_big_raises;
           Alcotest.test_case "measures survive" `Quick test_measures_survive_pipeline;
+        ] );
+      ( "trial pool",
+        [
+          Alcotest.test_case "failures isolated" `Quick test_failing_trials_are_isolated;
+          Alcotest.test_case "failing bonus skipped" `Quick test_failing_bonus_skips_trial;
+          Alcotest.test_case "all failing surfaces error" `Quick
+            test_all_trials_failing_surfaces_one_error;
         ] );
       ( "engine corners",
         [
