@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench ci clean
+.PHONY: all build test coverage fmt bench profile ci clean
 
 all: build
 
@@ -6,7 +6,15 @@ build:
 	dune build @all
 
 test:
-	dune runtest
+	OCAMLRUNPARAM=b dune runtest
+
+# needs bisect_ppx (opam install bisect_ppx); the instrumentation stanzas
+# are inert without --instrument-with, so regular builds don't require it
+coverage:
+	mkdir -p _coverage
+	OCAMLRUNPARAM=b BISECT_FILE=$(CURDIR)/_coverage/bisect \
+		dune runtest --instrument-with bisect_ppx --force
+	bisect-ppx-report summary --coverage-path _coverage
 
 # formatting is checked only where ocamlformat is available, so `make ci`
 # stays runnable in minimal containers
@@ -19,6 +27,10 @@ fmt:
 
 bench:
 	dune exec bench/main.exe -- --only trials
+
+# per-pass span/counter breakdown from the observability layer
+profile:
+	dune exec bench/main.exe -- --only profile
 
 ci: build test fmt
 

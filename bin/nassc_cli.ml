@@ -38,6 +38,37 @@ let qasm_arg =
   let doc = "Print the transpiled circuit as OpenQASM 2." in
   Arg.(value & flag & info [ "qasm" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record an observability trace (per-pass spans, counters, per-trial gauges) and emit \
+     it as JSON lines to $(docv) ('-' = stderr).  When a file is given, a human-readable \
+     profile summary is also printed to stderr.  Without --trace-times the trace is \
+     deterministic: byte-identical for any worker count."
+  in
+  Arg.(value & opt ~vopt:(Some "-") (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_times_arg =
+  let doc = "Include wall/CPU milliseconds on span lines (nondeterministic)." in
+  Arg.(value & flag & info [ "trace-times" ] ~doc)
+
+(* run [f] under a collector when tracing was requested and export the trace *)
+let with_trace trace times f =
+  match trace with
+  | None -> f ()
+  | Some dest ->
+      let root = Qobs.Collector.create ~label:"main" () in
+      let result = Qobs.with_collector root f in
+      let tr = Qobs.Trace.of_root root in
+      let jsonl = Qobs.Trace.to_jsonl ~times tr in
+      (match dest with
+      | "-" -> output_string stderr jsonl
+      | file ->
+          let oc = open_out file in
+          output_string oc jsonl;
+          close_out oc;
+          Qobs.Trace.pp_summary Format.err_formatter tr);
+      result
+
 let router_of_string cal = function
   | "sabre" -> Ok Qroute.Pipeline.Sabre_router
   | "nassc" -> Ok (Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config)
@@ -72,7 +103,7 @@ let print_trial_stats (r : Qroute.Pipeline.result) =
       r.trial_stats
   end
 
-let transpile_cmd benchmark topology size router seed trials workers qasm =
+let transpile_cmd benchmark topology size router seed trials workers qasm trace trace_times =
   match
     Result.bind (check_pool_args trials workers) (fun () ->
         try Ok (Qbench.Suite.find benchmark)
@@ -97,8 +128,9 @@ let transpile_cmd benchmark topology size router seed trials workers qasm =
           let circuit = entry.build () in
           let params = { Qroute.Engine.default_params with seed } in
           let r =
-            Qroute.Pipeline.transpile ~params ~calibration:cal ~trials ?workers ~router
-              coupling circuit
+            with_trace trace trace_times (fun () ->
+                Qroute.Pipeline.transpile ~params ~calibration:cal ~trials ?workers ~router
+                  coupling circuit)
           in
           Printf.printf "benchmark:       %s (%d qubits)\n" entry.name entry.n_qubits;
           Printf.printf "topology:        %s (%d qubits)\n" topology
@@ -122,7 +154,7 @@ let file_arg =
   let doc = "OpenQASM 2 file to transpile." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
-let transpile_file_cmd path topology size router seed trials workers qasm =
+let transpile_file_cmd path topology size router seed trials workers qasm trace trace_times =
   match
     Result.bind (check_pool_args trials workers) (fun () ->
         try Ok (Qcircuit.Qasm_parser.parse_file path) with
@@ -147,8 +179,9 @@ let transpile_file_cmd path topology size router seed trials workers qasm =
       | Ok router ->
           let params = { Qroute.Engine.default_params with seed } in
           let r =
-            Qroute.Pipeline.transpile ~params ~calibration:cal ~trials ?workers ~router
-              coupling circuit
+            with_trace trace trace_times (fun () ->
+                Qroute.Pipeline.transpile ~params ~calibration:cal ~trials ?workers ~router
+                  coupling circuit)
           in
           Printf.printf "input:           %s (%d qubits, %d ops)\n" path
             (Qcircuit.Circuit.n_qubits circuit)
@@ -173,7 +206,7 @@ let list_cmd () =
 let transpile_t =
   Term.(
     const transpile_cmd $ benchmark_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
-    $ trials_arg $ workers_arg $ qasm_arg)
+    $ trials_arg $ workers_arg $ qasm_arg $ trace_arg $ trace_times_arg)
 
 let cmd_transpile =
   Cmd.v (Cmd.info "transpile" ~doc:"Transpile a benchmark and report metrics") transpile_t
@@ -183,7 +216,7 @@ let cmd_list = Cmd.v (Cmd.info "list" ~doc:"List available benchmarks") Term.(co
 let transpile_file_t =
   Term.(
     const transpile_file_cmd $ file_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
-    $ trials_arg $ workers_arg $ qasm_arg)
+    $ trials_arg $ workers_arg $ qasm_arg $ trace_arg $ trace_times_arg)
 
 let cmd_transpile_file =
   Cmd.v

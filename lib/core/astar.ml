@@ -28,10 +28,15 @@ let layers c =
 (* search state for one layer *)
 type state = { l2p : int array; swaps_rev : (int * int) list; g : int }
 
+let c_expansions = Qobs.counter "astar.node_expansions"
+let c_fallbacks = Qobs.counter "astar.budget_fallbacks"
+let c_layers = Qobs.counter "astar.layers_solved"
+
 let encode_mapping l2p =
   String.concat "," (Array.to_list (Array.map string_of_int l2p))
 
 let route ?(params = default_params) coupling circuit =
+  Qobs.span "astar.route" @@ fun () ->
   let n_phys = Coupling.n_qubits coupling in
   let n_log = Qcircuit.Circuit.n_qubits circuit in
   if n_log > n_phys then invalid_arg "Astar.route: circuit larger than device";
@@ -100,6 +105,7 @@ let route ?(params = default_params) coupling circuit =
         if not (Hashtbl.mem closed key) then begin
           Hashtbl.replace closed key ();
           incr expansions;
+          Qobs.incr c_expansions;
           if heuristic st.l2p pairs = 0 then result := Some (List.rev st.swaps_rev)
           else
             List.iter
@@ -116,6 +122,7 @@ let route ?(params = default_params) coupling circuit =
       | None ->
           (* budget exhausted: greedy shortest-path fallback, one gate at a
              time on a scratch mapping *)
+          Qobs.incr c_fallbacks;
           let scratch = Array.copy l2p in
           let swaps = ref [] in
           List.iter
@@ -135,6 +142,7 @@ let route ?(params = default_params) coupling circuit =
   in
   List.iter
     (fun layer ->
+      Qobs.incr c_layers;
       let pairs =
         List.filter_map
           (fun (i : Qcircuit.Circuit.instr) ->

@@ -65,6 +65,14 @@ type result = {
 let route_rng params = Rng.create params.seed
 let layout_rng params = Rng.create (params.seed + 7919)
 
+(* observability probes: all no-ops unless a Qobs collector is installed *)
+let c_candidates = Qobs.counter "engine.swap_candidates_scored"
+let c_h_basic = Qobs.counter "engine.h_basic_evals"
+let c_h_lookahead = Qobs.counter "engine.h_lookahead_evals"
+let c_swaps = Qobs.counter "engine.swaps_emitted"
+let c_force = Qobs.counter "engine.force_progress_escapes"
+let g_predicted = Qobs.gauge "engine.predicted_cnot_savings"
+
 let two_qubit_front dag tr mapping =
   List.filter_map
     (fun id ->
@@ -77,6 +85,7 @@ let two_qubit_front dag tr mapping =
     (Qcircuit.Dag.Traversal.front tr)
 
 let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
+  Qobs.span "engine.route_once" @@ fun () ->
   let n_phys = Coupling.n_qubits coupling in
   let n_log = Qcircuit.Circuit.n_qubits circuit in
   if n_log > n_phys then invalid_arg "Engine.route_once: circuit larger than device";
@@ -175,24 +184,37 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
             else params.ext_weight /. ne *. dsum ext_pairs
           in
           let h = (h_basic +. h_ext) *. Float.max decay.(p1) decay.(p2) in
-          (h, (p1, p2), action))
+          (h, bonus_v, (p1, p2), action))
         candidates
     in
+    if Qobs.active () then begin
+      let n_cand = List.length candidates in
+      Qobs.add c_candidates n_cand;
+      Qobs.add c_h_basic n_cand;
+      if ext_pairs <> [] then Qobs.add c_h_lookahead n_cand
+    end;
     match scored with
     | [] -> invalid_arg "Engine.route_once: stuck with no swap candidates"
     | _ ->
-        let best_h = List.fold_left (fun m (h, _, _) -> Float.min m h) infinity scored in
-        let best = List.filter (fun (h, _, _) -> h <= best_h +. 1e-12) scored in
-        let _, (p1, p2), action = Rng.pick rng best in
+        let best_h = List.fold_left (fun m (h, _, _, _) -> Float.min m h) infinity scored in
+        let best = List.filter (fun (h, _, _, _) -> h <= best_h +. 1e-12) scored in
+        let _, bonus_v, (p1, p2), action = Rng.pick rng best in
         let op = emit Gate.SWAP [ p1; p2 ] Swap_plain in
         action op;
         apply_swap mapping p1 p2;
         incr n_swaps;
+        Qobs.incr c_swaps;
+        (* eq. 1's prediction for the chosen SWAP: the CNOTs the downstream
+           passes are expected to recover.  Paired with the realized savings
+           recorded by the pipeline, this turns the paper's central claim
+           into a runtime metric. *)
+        Qobs.gauge_add g_predicted bonus_v;
         decay.(p1) <- decay.(p1) +. params.decay_delta;
         decay.(p2) <- decay.(p2) +. params.decay_delta
   in
   let force_progress () =
     (* escape valve: route the first front 2q gate along a shortest path *)
+    Qobs.incr c_force;
     match Qcircuit.Dag.Traversal.front tr with
     | [] -> ()
     | id :: _ -> begin
@@ -206,6 +228,7 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
                   ignore (emit Gate.SWAP [ p; q ] Swap_plain);
                   apply_swap mapping p q;
                   incr n_swaps;
+                  Qobs.incr c_swaps;
                   walk (q :: rest)
               | _ -> ()
             in
@@ -244,6 +267,7 @@ let reverse_circuit c =
           (Qcircuit.Circuit.instrs c)))
 
 let find_layout params coupling ~rng ~dist ~bonus circuit =
+  Qobs.span "engine.find_layout" @@ fun () ->
   let n_phys = Coupling.n_qubits coupling in
   let n_log = Qcircuit.Circuit.n_qubits circuit in
   if n_log > n_phys then invalid_arg "Engine.find_layout: circuit larger than device";

@@ -19,6 +19,12 @@ let default_config =
 
 let swap_unitary = Unitary.of_gate Gate.SWAP
 
+let c_c2q = Qobs.counter "nassc.c2q_bonus_evals"
+let c_walks = Qobs.counter "nassc.commute_walks"
+let c_commute1 = Qobs.counter "nassc.commute1_hits"
+let c_commute2 = Qobs.counter "nassc.commute2_hits"
+let c_oriented = Qobs.counter "nassc.oriented_swaps_emitted"
+
 let touches qs (op : Engine.out_op) = List.exists (fun q -> List.mem q op.op_qubits) qs
 
 (* C_2q: CNOTs the SWAP saves by merging into the trailing two-qubit block
@@ -97,11 +103,14 @@ let commute_bonus cfg ~out_rev p1 p2 =
     if cfg.orient_swaps then op.tag <- Engine.Swap_orient (c, t)
   in
   let try_orientation (c, t) =
+    Qobs.incr c_walks;
     match commute_walk ~scan_limit:cfg.scan_limit ~out_rev p1 p2 c t with
     | Cx_found when cfg.enable_commute1 ->
+        Qobs.incr c_commute1;
         Some (2.0, fun (swap_op : Engine.out_op) -> tag_if_enabled swap_op c t)
     | Swap_found earlier when cfg.enable_commute2 && orientation_tag_compatible earlier c t
       ->
+        Qobs.incr c_commute2;
         Some
           ( 2.0,
             fun (swap_op : Engine.out_op) ->
@@ -115,7 +124,13 @@ let commute_bonus cfg ~out_rev p1 p2 =
 
 let bonus cfg : Engine.bonus_fn =
  fun ~out_rev ~mapping:_ p1 p2 ->
-  let c2q = if cfg.enable_2q then c2q_bonus ~out_rev p1 p2 else 0.0 in
+  let c2q =
+    if cfg.enable_2q then begin
+      Qobs.incr c_c2q;
+      c2q_bonus ~out_rev p1 p2
+    end
+    else 0.0
+  in
   match commute_bonus cfg ~out_rev p1 p2 with
   | Some (c_comm, action) when c_comm >= c2q -> (c_comm, action)
   | Some _ | None -> (c2q, fun _ -> ())
@@ -134,6 +149,7 @@ let finalize ops =
     match (op.gate, op.op_qubits, op.tag) with
     | Gate.SWAP, [ a; b ], Engine.Swap_plain -> List.iter emit [ cx a b; cx b a; cx a b ]
     | Gate.SWAP, [ a; b ], Engine.Swap_orient (c, t) ->
+        Qobs.incr c_oriented;
         let moved = ref [] in
         let rec pull () =
           match !out with
@@ -162,6 +178,7 @@ let finalize ops =
 
 let route ?(params = Engine.default_params) ?(config = default_config) ?dist coupling
     circuit =
+  Qobs.span "nassc.route" @@ fun () ->
   let dist = match dist with Some d -> d | None -> Sabre.hop_distance coupling in
   let b = bonus config in
   (* layout search uses the plain heuristic (same mapping algorithm as

@@ -29,41 +29,60 @@ let lower_to_2q c =
   in
   Qcircuit.Circuit.create (Qcircuit.Circuit.n_qubits c) lowered
 
+(* each optimization stage runs under a named span so `--trace` / `bench
+   --only profile` can attribute time per pass; a no-op without a collector *)
+let pass name f c = Qobs.span ("pass." ^ name) (fun () -> f c)
+
 let pre_optimize c =
+  Qobs.span "pipeline.pre_optimize" @@ fun () ->
   c
-  |> Peephole.run
-  |> Optimize_1q.run Optimize_1q.U_gate
-  |> Cancellation.run_fixpoint ~max_rounds:3
-  |> Unitary_synthesis.run
-  |> Optimize_1q.run Optimize_1q.U_gate
+  |> pass "peephole" Peephole.run
+  |> pass "optimize_1q" (Optimize_1q.run Optimize_1q.U_gate)
+  |> pass "cancellation" (Cancellation.run_fixpoint ~max_rounds:3)
+  |> pass "unitary_synthesis" Unitary_synthesis.run
+  |> pass "optimize_1q" (Optimize_1q.run Optimize_1q.U_gate)
 
 let post_optimize c =
+  Qobs.span "pipeline.post_optimize" @@ fun () ->
   c
-  |> Peephole.run
-  |> Cancellation.run_fixpoint ~max_rounds:3
-  |> Unitary_synthesis.run
-  |> Basis.run
-  |> Cancellation.run_fixpoint ~max_rounds:2
-  |> Optimize_1q.run Optimize_1q.Zsx
+  |> pass "peephole" Peephole.run
+  |> pass "cancellation" (Cancellation.run_fixpoint ~max_rounds:3)
+  |> pass "unitary_synthesis" Unitary_synthesis.run
+  |> pass "basis" Basis.run
+  |> pass "cancellation" (Cancellation.run_fixpoint ~max_rounds:2)
+  |> pass "optimize_1q" (Optimize_1q.run Optimize_1q.Zsx)
 
 let noise_dist calibration coupling =
   match calibration with
   | Some cal -> Topology.Calibration.noise_distance_matrix cal
   | None -> Topology.Calibration.noise_distance_matrix (Topology.Calibration.generate coupling)
 
+(* per-trial outcome gauges; recorded on the trial's own collector *)
+let g_cx = Qobs.gauge "trial.cx_total"
+let g_depth = Qobs.gauge "trial.depth"
+let g_swaps = Qobs.gauge "trial.n_swaps"
+let g_routed_cx = Qobs.gauge "trial.routed_cx"
+let g_realized = Qobs.gauge "trial.realized_cnot_savings"
+
 let transpile ?(params = Engine.default_params) ?calibration ?(trials = 1) ?workers ~router
     coupling circuit =
   if trials < 1 then invalid_arg "Pipeline.transpile: trials must be >= 1";
+  Qobs.span "pipeline.transpile" @@ fun () ->
+  (* traced runs start from an empty commutation cache so the cache counters
+     (and hence the whole trace) are a pure function of this transpile call,
+     not of whatever ran earlier in the process *)
+  if Qobs.active () then Qpasses.Commutation.reset_cache ();
   let wall0 = Unix.gettimeofday () in
   let cpu0 = Sys.time () in
   (* shared read-only inputs, computed once before the fan-out: the
      pre-optimized logical circuit and (for the HA routers) the noise-aware
      distance matrix.  Per-trial mutable state (mappings, decay, RNG) lives
      inside the routers, domain-locally. *)
-  let logical = pre_optimize (lower_to_2q circuit) in
+  let logical = pre_optimize (Qobs.span "pipeline.lower_to_2q" (fun () -> lower_to_2q circuit)) in
   let dist_ha =
     match router with
-    | Sabre_ha | Nassc_ha _ -> Some (noise_dist calibration coupling)
+    | Sabre_ha | Nassc_ha _ ->
+        Some (Qobs.span "pipeline.noise_dist" (fun () -> noise_dist calibration coupling))
     | _ -> None
   in
   let route_with params =
@@ -91,12 +110,30 @@ let transpile ?(params = Engine.default_params) ?calibration ?(trials = 1) ?work
         (r.circuit, r.n_swaps, Some (r.initial_layout, r.final_layout))
   in
   let report =
+    Qobs.span "pipeline.trials" @@ fun () ->
     Trials.run ?workers ~n:trials ~base_seed:params.Engine.seed
       ~measure:(fun (final, n_swaps, _) ->
         (Qcircuit.Circuit.cx_count final, Qcircuit.Circuit.depth final, n_swaps))
       (fun ~trial:_ ~seed ->
-        let routed, n_swaps, layouts = route_with { params with Engine.seed } in
-        (post_optimize routed, n_swaps, layouts))
+        (* fresh per-trial cache: hit/miss counts become a pure function of
+           this trial's work, whatever domain it lands on *)
+        if Qobs.active () then Qpasses.Commutation.reset_cache ();
+        let routed, n_swaps, layouts =
+          Qobs.span "trial.route" (fun () -> route_with { params with Engine.seed })
+        in
+        let final = post_optimize routed in
+        if Qobs.active () then begin
+          let cx_routed = Qcircuit.Circuit.cx_count routed in
+          let cx_final = Qcircuit.Circuit.cx_count final in
+          Qobs.gauge_set g_cx (float_of_int cx_final);
+          Qobs.gauge_set g_depth (float_of_int (Qcircuit.Circuit.depth final));
+          Qobs.gauge_set g_swaps (float_of_int n_swaps);
+          Qobs.gauge_set g_routed_cx (float_of_int cx_routed);
+          (* CNOTs the post-routing passes actually recovered, the realized
+             side of eq. 1's prediction (engine.predicted_cnot_savings) *)
+          Qobs.gauge_set g_realized (float_of_int (cx_routed - cx_final))
+        end;
+        (final, n_swaps, layouts))
   in
   let final, n_swaps, layouts = report.Trials.best in
   {

@@ -4,7 +4,17 @@
     optimization (1q merge, commutative cancellation, two-qubit block
     re-synthesis; NASSC moves these before routing, Section IV-A) -> layout
     + routing -> post-routing optimization -> hardware-basis emission
-    ({rz, sx, x, cx}). *)
+    ({rz, sx, x, cx}).
+
+    Observability: install a {!Qobs} collector around {!transpile} to
+    record per-pass spans ([pipeline.*], [pass.*], [trial.route]), the
+    engine/pass counters, and per-trial gauges — including
+    [engine.predicted_cnot_savings] (eq. 1's estimate summed over chosen
+    SWAPs) next to [trial.realized_cnot_savings] (CNOTs the post-routing
+    passes actually recovered), which makes the paper's central claim a
+    runtime metric.  Traced runs reset the per-domain commutation cache at
+    transpile and trial start, so traces are deterministic across runs and
+    worker counts; untraced runs skip all of it. *)
 
 type router =
   | Full_connectivity  (** no routing: the "original circuit" baseline *)

@@ -12,7 +12,10 @@ let hop_distance coupling =
   let d = Coupling.distance_matrix coupling in
   Array.map (Array.map (fun x -> if x = max_int then infinity else float_of_int x)) d
 
+let c_decomposed = Qobs.counter "sabre.swaps_decomposed"
+
 let route ?(params = Engine.default_params) ?dist coupling circuit =
+  Qobs.span "sabre.route" @@ fun () ->
   let dist = match dist with Some d -> d | None -> hop_distance coupling in
   let bonus = Engine.zero_bonus in
   let layout =
@@ -33,6 +36,7 @@ let decompose_swaps c =
   let expand (i : Qcircuit.Circuit.instr) =
     match (i.gate, i.qubits) with
     | Gate.SWAP, [ a; b ] ->
+        Qobs.incr c_decomposed;
         [
           { Qcircuit.Circuit.gate = Gate.CX; qubits = [ a; b ] };
           { Qcircuit.Circuit.gate = Gate.CX; qubits = [ b; a ] };

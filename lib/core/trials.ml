@@ -74,6 +74,9 @@ let better a b =
   else if a.depth <> b.depth then a.depth < b.depth
   else a.trial < b.trial
 
+let c_ok = Qobs.counter "trials.ok"
+let c_failed = Qobs.counter "trials.failed"
+
 let run ?workers ~n ~base_seed ~measure f =
   if n < 1 then invalid_arg "Trials.run: n must be >= 1";
   let workers =
@@ -83,13 +86,32 @@ let run ?workers ~n ~base_seed ~measure f =
     | None -> min (default_workers ()) n
   in
   let wall0 = Unix.gettimeofday () in
+  (* tracing: one collector per TRIAL (not per domain), created on whichever
+     domain runs the trial and merged below on the joining domain in trial
+     order — so the trace is identical for any worker count *)
+  let parent_collector = Qobs.current () in
+  let collectors = Array.make n None in
   let outcomes =
     map ~workers ~n (fun k ->
         let seed = trial_seed ~base:base_seed k in
         let t0 = Unix.gettimeofday () in
-        let v = f ~trial:k ~seed in
+        let v =
+          match parent_collector with
+          | None -> f ~trial:k ~seed
+          | Some _ ->
+              let c = Qobs.Collector.create ~trial:k ~label:"trial" () in
+              collectors.(k) <- Some c;
+              Qobs.with_collector c (fun () -> f ~trial:k ~seed)
+        in
         (v, Unix.gettimeofday () -. t0))
   in
+  (match parent_collector with
+  | None -> ()
+  | Some p ->
+      Array.iter (function Some c -> Qobs.Collector.add_child p c | None -> ()) collectors;
+      Array.iter
+        (function Ok _ -> Qobs.incr c_ok | Error _ -> Qobs.incr c_failed)
+        outcomes);
   let stats =
     Array.to_list
       (Array.mapi

@@ -9,6 +9,13 @@
     reproducible regardless of worker count or scheduling, and trial 0
     reproduces the single-shot path bit-for-bit.
 
+    Observability: when the calling domain has a {!Qobs} collector
+    installed, every trial runs under its own fresh collector (keyed by
+    trial index, not by domain) and the collectors are merged into the
+    caller's in trial order after the join — so traces, counters and spans
+    are identical for any worker count.  [trials.ok] / [trials.failed]
+    count per-trial outcomes on the caller's collector.
+
     Failure policy: a trial that raises is isolated — it is recorded in the
     per-trial statistics with its [error] message and excluded from best
     selection; the pool itself never deadlocks or leaks a domain.  Only when

@@ -1,0 +1,327 @@
+(* Spans + counters + gauges with a disabled fast path.
+
+   Counter/gauge identities are process-global interned ids; values live in
+   per-collector arrays indexed by id.  The only cross-domain state is the
+   registry (touched at module init, mutex-protected) and one atomic count
+   of installed collectors, read on every probe as the fast-path gate. *)
+
+(* ---- registries ---- *)
+
+type counter = int
+type gauge = int
+
+let registry_lock = Mutex.create ()
+
+type registry = { mutable names : string array; mutable count : int; tbl : (string, int) Hashtbl.t }
+
+let mk_registry () = { names = Array.make 16 ""; count = 0; tbl = Hashtbl.create 32 }
+let counter_reg = mk_registry ()
+let gauge_reg = mk_registry ()
+
+let intern reg name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt reg.tbl name with
+      | Some id -> id
+      | None ->
+          let id = reg.count in
+          if id >= Array.length reg.names then begin
+            let bigger = Array.make (2 * Array.length reg.names) "" in
+            Array.blit reg.names 0 bigger 0 id;
+            reg.names <- bigger
+          end;
+          reg.names.(id) <- name;
+          reg.count <- reg.count + 1;
+          Hashtbl.replace reg.tbl name id;
+          id)
+
+let counter name = intern counter_reg name
+let gauge name = intern gauge_reg name
+
+let registered reg =
+  Mutex.protect registry_lock (fun () -> Array.sub reg.names 0 reg.count)
+
+(* ---- collectors ---- *)
+
+module Collector = struct
+  type span_rec = {
+    sp_name : string;
+    sp_seq : int;
+    sp_parent : int;
+    sp_depth : int;
+    mutable sp_wall : float;
+    mutable sp_cpu : float;
+  }
+
+  type t = {
+    label : string;
+    trial : int option;
+    mutable counts : int array;
+    mutable gvals : float array;
+    mutable gset : bool array;
+    mutable done_rev : span_rec list;
+    mutable stack : span_rec list;
+    mutable next_seq : int;
+    mutable children_rev : t list;
+  }
+
+  let create ?trial ?(label = "") () =
+    {
+      label;
+      trial;
+      counts = Array.make 16 0;
+      gvals = Array.make 8 0.0;
+      gset = Array.make 8 false;
+      done_rev = [];
+      stack = [];
+      next_seq = 0;
+      children_rev = [];
+    }
+
+  let trial t = t.trial
+  let label t = t.label
+
+  let spans t =
+    List.sort (fun a b -> compare a.sp_seq b.sp_seq) (List.rev t.done_rev)
+
+  let open_spans t = List.length t.stack
+
+  let count_of t id = if id < Array.length t.counts then t.counts.(id) else 0
+
+  let counters t =
+    let names = registered counter_reg in
+    Array.to_list (Array.mapi (fun id name -> (name, count_of t id)) names)
+    |> List.sort compare
+
+  let gauges t =
+    let names = registered gauge_reg in
+    let out = ref [] in
+    Array.iteri
+      (fun id name ->
+        if id < Array.length t.gset && t.gset.(id) then out := (name, t.gvals.(id)) :: !out)
+      names;
+    List.sort compare !out
+
+  let add_child parent child = parent.children_rev <- child :: parent.children_rev
+  let children t = List.rev t.children_rev
+
+  (* growth helpers for the value arrays *)
+  let ensure_counts t id =
+    if id >= Array.length t.counts then begin
+      let bigger = Array.make (max (2 * Array.length t.counts) (id + 1)) 0 in
+      Array.blit t.counts 0 bigger 0 (Array.length t.counts);
+      t.counts <- bigger
+    end
+
+  let ensure_gauges t id =
+    if id >= Array.length t.gvals then begin
+      let n = max (2 * Array.length t.gvals) (id + 1) in
+      let gv = Array.make n 0.0 and gs = Array.make n false in
+      Array.blit t.gvals 0 gv 0 (Array.length t.gvals);
+      Array.blit t.gset 0 gs 0 (Array.length t.gset);
+      t.gvals <- gv;
+      t.gset <- gs
+    end
+end
+
+(* ---- the per-domain install point ---- *)
+
+let installed = Atomic.make 0
+let dls_key : Collector.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () =
+  if Atomic.get installed = 0 then None else Domain.DLS.get dls_key
+
+let active () = current () <> None
+
+let with_collector c f =
+  let prev = Domain.DLS.get dls_key in
+  Domain.DLS.set dls_key (Some c);
+  Atomic.incr installed;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr installed;
+      Domain.DLS.set dls_key prev)
+    f
+
+(* ---- probes ---- *)
+
+let add id by =
+  match current () with
+  | None -> ()
+  | Some c ->
+      Collector.ensure_counts c id;
+      c.Collector.counts.(id) <- c.Collector.counts.(id) + by
+
+let incr id = add id 1
+
+let gauge_set id v =
+  match current () with
+  | None -> ()
+  | Some c ->
+      Collector.ensure_gauges c id;
+      c.Collector.gvals.(id) <- v;
+      c.Collector.gset.(id) <- true
+
+let gauge_add id v =
+  match current () with
+  | None -> ()
+  | Some c ->
+      Collector.ensure_gauges c id;
+      c.Collector.gvals.(id) <- c.Collector.gvals.(id) +. v;
+      c.Collector.gset.(id) <- true
+
+let span name f =
+  match current () with
+  | None -> f ()
+  | Some c ->
+      let open Collector in
+      let parent, depth =
+        match c.stack with [] -> (-1, 0) | top :: _ -> (top.sp_seq, top.sp_depth + 1)
+      in
+      let r =
+        { sp_name = name; sp_seq = c.next_seq; sp_parent = parent; sp_depth = depth;
+          sp_wall = 0.0; sp_cpu = 0.0 }
+      in
+      c.next_seq <- c.next_seq + 1;
+      c.stack <- r :: c.stack;
+      let w0 = Unix.gettimeofday () and t0 = Sys.time () in
+      Fun.protect
+        ~finally:(fun () ->
+          r.sp_wall <- Unix.gettimeofday () -. w0;
+          r.sp_cpu <- Sys.time () -. t0;
+          (* pop back to r even if an exception skipped inner closes *)
+          let rec pop = function
+            | top :: rest when top == r -> rest
+            | _ :: rest -> pop rest
+            | [] -> []
+          in
+          c.stack <- pop c.stack;
+          c.done_rev <- r :: c.done_rev)
+        f
+
+(* ---- export ---- *)
+
+module Trace = struct
+  type t = { root : Collector.t }
+
+  let of_root root = { root }
+
+  let collectors t = t.root :: Collector.children t.root
+
+  let counters_total t =
+    let names = registered counter_reg in
+    let totals = Array.make (Array.length names) 0 in
+    List.iter
+      (fun c ->
+        Array.iteri (fun id _ -> totals.(id) <- totals.(id) + Collector.count_of c id) names)
+      (collectors t);
+    Array.to_list (Array.mapi (fun id name -> (name, totals.(id))) names)
+    |> List.sort compare
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let trial_field c =
+    match Collector.trial c with None -> "null" | Some k -> string_of_int k
+
+  let to_jsonl ?(times = false) t =
+    let buf = Buffer.create 4096 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+    List.iter
+      (fun c ->
+        List.iter
+          (fun (s : Collector.span_rec) ->
+            if times then
+              line
+                {|{"type":"span","trial":%s,"seq":%d,"parent":%d,"depth":%d,"name":"%s","wall_ms":%.3f,"cpu_ms":%.3f}|}
+                (trial_field c) s.sp_seq s.sp_parent s.sp_depth (json_escape s.sp_name)
+                (1000.0 *. s.sp_wall) (1000.0 *. s.sp_cpu)
+            else
+              line {|{"type":"span","trial":%s,"seq":%d,"parent":%d,"depth":%d,"name":"%s"}|}
+                (trial_field c) s.sp_seq s.sp_parent s.sp_depth (json_escape s.sp_name))
+          (Collector.spans c))
+      (collectors t);
+    List.iter
+      (fun (name, v) -> line {|{"type":"counter","name":"%s","value":%d}|} (json_escape name) v)
+      (counters_total t);
+    List.iter
+      (fun c ->
+        List.iter
+          (fun (name, v) ->
+            line {|{"type":"gauge","trial":%s,"name":"%s","value":%.12g}|} (trial_field c)
+              (json_escape name) v)
+          (Collector.gauges c))
+      (collectors t);
+    Buffer.contents buf
+
+  (* spans aggregated by slash-joined ancestor path, across collectors *)
+  let aggregate t =
+    let rows : (string, int * float * float) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun c ->
+        let spans = Collector.spans c in
+        let path_of = Hashtbl.create 32 in
+        List.iter
+          (fun (s : Collector.span_rec) ->
+            let prefix =
+              match Hashtbl.find_opt path_of s.sp_parent with
+              | Some p -> p ^ "/"
+              | None -> ""
+            in
+            let path = prefix ^ s.sp_name in
+            Hashtbl.replace path_of s.sp_seq path;
+            (match Hashtbl.find_opt rows path with
+            | None ->
+                order := path :: !order;
+                Hashtbl.replace rows path (1, s.sp_wall, s.sp_cpu)
+            | Some (n, w, cp) -> Hashtbl.replace rows path (n + 1, w +. s.sp_wall, cp +. s.sp_cpu)))
+          spans)
+      (collectors t);
+    List.rev_map (fun path -> (path, Hashtbl.find rows path)) !order
+
+  let pp_summary fmt t =
+    let rows = aggregate t in
+    let width =
+      List.fold_left (fun acc (p, _) -> max acc (String.length p)) 24 rows
+    in
+    Format.fprintf fmt "%-*s %8s %12s %12s@." width "span" "calls" "wall(ms)" "cpu(ms)";
+    Format.fprintf fmt "%s@." (String.make (width + 36) '-');
+    List.iter
+      (fun (path, (calls, wall, cpu)) ->
+        Format.fprintf fmt "%-*s %8d %12.3f %12.3f@." width path calls (1000.0 *. wall)
+          (1000.0 *. cpu))
+      rows;
+    let nonzero = List.filter (fun (_, v) -> v <> 0) (counters_total t) in
+    if nonzero <> [] then begin
+      Format.fprintf fmt "@.%-*s %12s@." width "counter" "value";
+      Format.fprintf fmt "%s@." (String.make (width + 13) '-');
+      List.iter (fun (name, v) -> Format.fprintf fmt "%-*s %12d@." width name v) nonzero
+    end;
+    let gauge_rows =
+      List.concat_map
+        (fun c ->
+          List.map (fun (name, v) -> (Collector.trial c, name, v)) (Collector.gauges c))
+        (collectors t)
+    in
+    if gauge_rows <> [] then begin
+      Format.fprintf fmt "@.%-*s %8s %12s@." width "gauge" "trial" "value";
+      Format.fprintf fmt "%s@." (String.make (width + 22) '-');
+      List.iter
+        (fun (trial, name, v) ->
+          let tr = match trial with None -> "-" | Some k -> string_of_int k in
+          Format.fprintf fmt "%-*s %8s %12.4g@." width name tr v)
+        gauge_rows
+    end
+end

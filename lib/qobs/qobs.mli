@@ -1,0 +1,113 @@
+(** Lightweight observability: hierarchical spans, named counters and
+    gauges, with near-zero overhead when disabled.
+
+    The pipeline is instrumented unconditionally; whether anything is
+    *recorded* depends on a collector being installed on the current domain
+    (see {!with_collector}).  With no collector anywhere in the process,
+    every probe is a single atomic-load-and-branch, so instrumented code
+    stays within noise of the uninstrumented build.
+
+    Identities are interned once at module-initialization time
+    ([let c = Qobs.counter "engine.swaps_emitted"]) so hot-path updates are
+    an array increment, never a string hash.
+
+    Concurrency model: one collector per logical unit of work (the main
+    pipeline, or one routing trial), installed domain-locally.  The trial
+    engine creates a fresh collector per {e trial} — not per domain — and
+    merges them into the parent in trial order at join, which is what keeps
+    traces deterministic across worker counts. *)
+
+type counter
+type gauge
+
+val counter : string -> counter
+(** Intern a counter by name (idempotent; call at module init). *)
+
+val gauge : string -> gauge
+(** Intern a float-valued gauge by name (idempotent). *)
+
+val active : unit -> bool
+(** True iff a collector is installed on the calling domain. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val gauge_set : gauge -> float -> unit
+(** Last write wins. *)
+
+val gauge_add : gauge -> float -> unit
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] (wall and CPU) as a child of the innermost
+    open span on this domain's collector.  Exceptions propagate; the span
+    still closes.  Without a collector this is just [f ()]. *)
+
+module Collector : sig
+  type t
+
+  type span_rec = {
+    sp_name : string;
+    sp_seq : int;  (** preorder index within this collector, from 0 *)
+    sp_parent : int;  (** [sp_seq] of the parent span, [-1] for roots *)
+    sp_depth : int;  (** 0 for roots, parent depth + 1 otherwise *)
+    mutable sp_wall : float;  (** seconds of wall clock *)
+    mutable sp_cpu : float;  (** seconds of process CPU time *)
+  }
+
+  val create : ?trial:int -> ?label:string -> unit -> t
+  (** Fresh empty collector.  [trial] tags every exported record (the trial
+      engine sets it); [label] is a human-readable name ("main"). *)
+
+  val trial : t -> int option
+  val label : t -> string
+
+  val spans : t -> span_rec list
+  (** Completed spans in preorder ([sp_seq] ascending). *)
+
+  val open_spans : t -> int
+  (** Number of spans currently open (0 once collection is balanced). *)
+
+  val counters : t -> (string * int) list
+  (** Every registered counter with this collector's value (0 when never
+      touched here), sorted by name. *)
+
+  val gauges : t -> (string * float) list
+  (** Gauges written on this collector, sorted by name. *)
+
+  val add_child : t -> t -> unit
+  (** [add_child parent child] appends [child] to [parent]'s merge list;
+      call from the joining domain only, in a deterministic order. *)
+
+  val children : t -> t list
+  (** Children in [add_child] order. *)
+end
+
+val with_collector : Collector.t -> (unit -> 'a) -> 'a
+(** Install a collector on the calling domain for the duration of [f]
+    (restoring whatever was installed before).  Nesting installs shadow. *)
+
+val current : unit -> Collector.t option
+(** The calling domain's installed collector, if any. *)
+
+module Trace : sig
+  type t
+  (** A completed collection: a root collector plus its merged children. *)
+
+  val of_root : Collector.t -> t
+
+  val counters_total : t -> (string * int) list
+  (** Registered counters summed over the root and every child, sorted by
+      name. *)
+
+  val to_jsonl : ?times:bool -> t -> string
+  (** JSON-lines export: one [span] line per span (root collector first,
+      then each child in merge order), then aggregated [counter] lines,
+      then per-collector [gauge] lines.  With [times:false] (the default)
+      the output is a pure function of the computation — byte-identical
+      across runs, worker counts and machines; [times:true] adds [wall_ms]
+      / [cpu_ms] fields to spans, which are inherently nondeterministic. *)
+
+  val pp_summary : Format.formatter -> t -> unit
+  (** Human-readable profile: spans aggregated by path (calls, total wall
+      and CPU milliseconds), then counters and gauges. *)
+end

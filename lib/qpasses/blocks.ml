@@ -7,6 +7,9 @@ and block = { pair : int * int; ops : Qcircuit.Circuit.instr list }
    touches one of their wires. *)
 type open_block = { b_pair : int * int; mutable rev_ops : Qcircuit.Circuit.instr list }
 
+let c_blocks = Qobs.counter "blocks.collected"
+let c_singles = Qobs.counter "blocks.singles"
+
 let collect c =
   let n = Qcircuit.Circuit.n_qubits c in
   let out = ref [] in
@@ -62,7 +65,14 @@ let collect c =
   for q = 0 to n - 1 do
     flush_wire q
   done;
-  List.rev !out
+  let segments = List.rev !out in
+  if Qobs.active () then begin
+    Qobs.add c_blocks
+      (List.length (List.filter (function Block _ -> true | Single _ -> false) segments));
+    Qobs.add c_singles
+      (List.length (List.filter (function Single _ -> true | Block _ -> false) segments))
+  end;
+  segments
 
 let block_unitary b =
   let lo, hi = b.pair in

@@ -21,6 +21,10 @@ let z_angle = function
 
 let two_pi = 2.0 *. Float.pi
 
+let c_cancelled = Qobs.counter "cancellation.gates_cancelled"
+let c_merged = Qobs.counter "cancellation.z_rotations_merged"
+let c_rounds = Qobs.counter "cancellation.rounds"
+
 let norm a =
   let a = Float.rem a two_pi in
   if a > Float.pi then a -. two_pi else if a <= -.Float.pi then a +. two_pi else a
@@ -65,6 +69,7 @@ let run c =
       let ids = List.sort compare ids in
       match List.rev ids with
       | last :: (_ :: _ as earlier_rev) ->
+          Qobs.incr c_merged;
           let total =
             List.fold_left (fun acc id -> acc +. z_angle instrs.(id).Qcircuit.Circuit.gate) 0.0 ids
           in
@@ -76,6 +81,7 @@ let run c =
               { instrs.(last) with Qcircuit.Circuit.gate = Gate.RZ total }
       | _ -> ())
     zgroups;
+  Qobs.add c_cancelled (Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 drop);
   let out = ref [] in
   Array.iteri
     (fun id i ->
@@ -86,7 +92,9 @@ let run c =
 
 let rec run_fixpoint ?(max_rounds = 5) c =
   if max_rounds = 0 then c
-  else
+  else begin
+    Qobs.incr c_rounds;
     let c' = run c in
     if Qcircuit.Circuit.size c' = Qcircuit.Circuit.size c then c'
     else run_fixpoint ~max_rounds:(max_rounds - 1) c'
+  end

@@ -2,11 +2,21 @@ open Mathkit
 open Qgate
 
 (* cache of pairwise commutation results, keyed by gate pair + qubit overlap
-   pattern.  Shared across domains (the trials engine runs optimization
-   passes in parallel), so every access goes through the lock; entries are
-   pure functions of the key, so a lost race costs only a recompute. *)
-let cache : (string, bool) Hashtbl.t = Hashtbl.create 256
-let cache_lock = Mutex.create ()
+   pattern.  One cache per domain (DLS), so the trials engine's parallel
+   optimization passes never contend on a lock; entries are pure functions
+   of the key, so a cold cache costs only recomputes.  [reset_cache] empties
+   the calling domain's cache — the trial engine calls it at the start of
+   every traced trial so cache hit/miss counters are a pure function of the
+   trial's own work (deterministic across worker counts). *)
+let cache_key : (string, bool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let reset_cache () = Hashtbl.reset (Domain.DLS.get cache_key)
+
+let c_lookups = Qobs.counter "commutation.cache_lookups"
+let c_hits = Qobs.counter "commutation.cache_hits"
+let c_misses = Qobs.counter "commutation.cache_misses"
+let c_uncached = Qobs.counter "commutation.uncached_evals"
 
 let key (g1, qs1) (g2, qs2) =
   let pos q qs = List.mapi (fun i x -> if x = q then Some i else None) qs in
@@ -36,14 +46,21 @@ let commute (g1, qs1) (g2, qs2) =
   else if not (List.exists (fun q -> List.mem q qs2) qs1) then true
   else
     match ((g1 : Gate.t), (g2 : Gate.t)) with
-    | Gate.Unitary2 _, _ | _, Gate.Unitary2 _ -> compute_commute (g1, qs1) (g2, qs2)
+    | Gate.Unitary2 _, _ | _, Gate.Unitary2 _ ->
+        Qobs.incr c_uncached;
+        compute_commute (g1, qs1) (g2, qs2)
     | _ ->
         let k = key (g1, qs1) (g2, qs2) in
-        (match Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache k) with
-        | Some v -> v
+        let cache = Domain.DLS.get cache_key in
+        Qobs.incr c_lookups;
+        (match Hashtbl.find_opt cache k with
+        | Some v ->
+            Qobs.incr c_hits;
+            v
         | None ->
+            Qobs.incr c_misses;
             let v = compute_commute (g1, qs1) (g2, qs2) in
-            Mutex.protect cache_lock (fun () -> Hashtbl.replace cache k v);
+            Hashtbl.replace cache k v;
             v)
 
 type t = {

@@ -4,7 +4,13 @@
     of pairwise-commuting instructions ("commute sets", Section IV-E of the
     paper).  Two instructions commute when their embedded unitaries commute
     on the union of their qubits; results of the pairwise check are cached
-    per gate pair. *)
+    per gate pair, in a per-domain cache (no lock).
+
+    Observability: cache traffic is counted on the current {!Qobs}
+    collector as [commutation.cache_lookups] / [cache_hits] /
+    [cache_misses] (hits + misses = lookups), plus
+    [commutation.uncached_evals] for [Unitary2] operands that bypass the
+    cache. *)
 
 type t
 
@@ -22,3 +28,8 @@ val commute :
   Qgate.Gate.t * int list -> Qgate.Gate.t * int list -> bool
 (** Pairwise commutation check between two instructions (exact, matrix
     based).  Instructions on disjoint qubits always commute. *)
+
+val reset_cache : unit -> unit
+(** Empty the calling domain's commutation cache.  The trial engine resets
+    at the start of every traced trial so the cache counters above are a
+    pure function of the trial's work, independent of domain reuse. *)

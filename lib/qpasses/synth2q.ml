@@ -54,7 +54,10 @@ let classify (x, y, z) =
 
 let cnot_count u = Weyl.cnot_cost u
 
+let c_kak = Qobs.counter "synth2q.kak_decompositions"
+
 let synthesize u =
+  Qobs.incr c_kak;
   let r = Weyl.decompose u in
   let cls = classify (r.x, r.y, r.z) in
   if cls = 0 then

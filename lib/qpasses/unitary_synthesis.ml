@@ -1,3 +1,6 @@
+let c_considered = Qobs.counter "synth.blocks_considered"
+let c_accepted = Qobs.counter "synth.blocks_resynthesized"
+
 let resynth_gain b =
   let current = Blocks.block_cx_cost b in
   let optimal = Weyl.cnot_cost (Blocks.block_unitary b) in
@@ -16,6 +19,7 @@ let run c =
   let improve = function
     | Blocks.Single i -> [ i ]
     | Blocks.Block b ->
+        Qobs.incr c_considered;
         let replacement = synthesize_block b in
         let cx_of l =
           List.fold_left
@@ -28,7 +32,10 @@ let run c =
         if
           new_cx < old_cx
           || (new_cx = old_cx && List.length replacement < List.length b.ops)
-        then replacement
+        then begin
+          Qobs.incr c_accepted;
+          replacement
+        end
         else b.ops
   in
   Qcircuit.Circuit.create (Qcircuit.Circuit.n_qubits c)

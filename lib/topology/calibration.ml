@@ -26,6 +26,23 @@ let generate ?(seed = 2022) coupling =
   let sq_err = Array.init n (fun _ -> 2e-4 +. Rng.float rng 3e-4) in
   { coupling; cx_err; cx_t; ro_err; sq_err }
 
+let create ~coupling ~cx_error ?(cx_time = fun _ _ -> 400e-9) ?(readout_error = fun _ -> 0.0)
+    ?(sq_error = fun _ -> 0.0) () =
+  let cx_err = Hashtbl.create 64 and cx_t = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace cx_err (key a b) (cx_error a b);
+      Hashtbl.replace cx_t (key a b) (cx_time a b))
+    (Coupling.edges coupling);
+  let n = Coupling.n_qubits coupling in
+  {
+    coupling;
+    cx_err;
+    cx_t;
+    ro_err = Array.init n readout_error;
+    sq_err = Array.init n sq_error;
+  }
+
 let lookup tbl a b what =
   match Hashtbl.find_opt tbl (key a b) with
   | Some v -> v

@@ -13,6 +13,19 @@ type t
 val generate : ?seed:int -> Coupling.t -> t
 (** Deterministic synthetic calibration for a device. *)
 
+val create :
+  coupling:Coupling.t ->
+  cx_error:(int -> int -> float) ->
+  ?cx_time:(int -> int -> float) ->
+  ?readout_error:(int -> float) ->
+  ?sq_error:(int -> float) ->
+  unit ->
+  t
+(** Explicit calibration from per-edge/per-qubit functions — for tests and
+    for loading real calibration data.  [cx_error]/[cx_time] are sampled
+    once per coupling edge (symmetric); defaults: 400 ns CX, zero readout
+    and single-qubit error. *)
+
 val cx_error : t -> int -> int -> float
 (** Error rate of the CX on an edge (symmetric).
     @raise Invalid_argument when the qubits are not coupled. *)

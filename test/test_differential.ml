@@ -1,0 +1,97 @@
+(* Differential testing of the full transpile pipeline: for random logical
+   circuits on every topology family from the paper's evaluation, the
+   NASSC-routed and SABRE-routed outputs must both be statevector-equivalent
+   to the original circuit (Qsim.Equiv.routed_equal), and equivalent to each
+   other's logical semantics by transitivity. *)
+
+open Mathkit
+open Qcircuit
+open Qgate
+
+let check = Alcotest.(check bool)
+
+(* random 4-6 qubit logical circuits over a gate set that exercises 1q
+   optimization, commutation and 2q-block collection *)
+let random_circuit seed =
+  let rng = Rng.create seed in
+  let n = 4 + Rng.int rng 3 in
+  let b = Circuit.Builder.create n in
+  let len = 10 + Rng.int rng 25 in
+  for _ = 1 to len do
+    match Rng.int rng 8 with
+    | 0 -> Circuit.Builder.add b Gate.H [ Rng.int rng n ]
+    | 1 -> Circuit.Builder.add b (Gate.RZ (Rng.float rng 6.28)) [ Rng.int rng n ]
+    | 2 -> Circuit.Builder.add b Gate.SX [ Rng.int rng n ]
+    | 3 -> Circuit.Builder.add b Gate.T [ Rng.int rng n ]
+    | 4 ->
+        let a = Rng.int rng n in
+        let c = (a + 1 + Rng.int rng (n - 1)) mod n in
+        Circuit.Builder.add b (Gate.CP (Rng.float rng 3.0)) [ a; c ]
+    | _ ->
+        let a = Rng.int rng n in
+        let c = (a + 1 + Rng.int rng (n - 1)) mod n in
+        Circuit.Builder.add b Gate.CX [ a; c ]
+  done;
+  Circuit.Builder.circuit b
+
+(* the four topology families of Figure 10, sized to fit 6 logical qubits
+   while keeping statevector equivalence cheap *)
+let topologies =
+  [
+    ("linear", Topology.Devices.linear 7);
+    ("ring", Topology.Devices.ring 8);
+    ("grid", Topology.Devices.grid 2 4);
+    ("heavy-hex", Topology.Devices.heavy_hex 2 2);
+  ]
+
+let routers =
+  [
+    ("sabre", Qroute.Pipeline.Sabre_router);
+    ("nassc", Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config);
+  ]
+
+let equivalent_after ~router ~coupling c seed =
+  let params = { Qroute.Engine.default_params with seed = 1 + (seed mod 997) } in
+  let r = Qroute.Pipeline.transpile ~params ~router coupling c in
+  match r.final_layout with
+  | None -> false
+  | Some fl -> Qsim.Equiv.routed_equal ~logical:c ~routed:r.circuit ~final_layout:fl
+
+(* one qcheck property per (topology, router) pair so a failure names the
+   combination that broke *)
+let qcheck_props =
+  let gen_seed = QCheck.Gen.int_range 0 1_000_000 in
+  List.concat_map
+    (fun (tname, coupling) ->
+      List.map
+        (fun (rname, router) ->
+          QCheck.Test.make
+            ~name:(Printf.sprintf "differential %s on %s: routed = original" rname tname)
+            ~count:8 (QCheck.make gen_seed)
+            (fun seed -> equivalent_after ~router ~coupling (random_circuit seed) seed))
+        routers)
+    topologies
+
+(* pinned regression: the same circuit through both routers, both equivalent
+   to the source (hence to each other) *)
+let test_routers_agree_semantically () =
+  let c = random_circuit 2022 in
+  List.iter
+    (fun (tname, coupling) ->
+      List.iter
+        (fun (rname, router) ->
+          check
+            (Printf.sprintf "%s/%s preserves semantics" rname tname)
+            true
+            (equivalent_after ~router ~coupling c 2022))
+        routers)
+    topologies
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "random circuits",
+        List.map QCheck_alcotest.to_alcotest qcheck_props
+        @ [ Alcotest.test_case "pinned circuit, all combos" `Quick
+              test_routers_agree_semantically ] );
+    ]

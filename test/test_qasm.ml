@@ -96,6 +96,83 @@ let test_roundtrip_with_emitter () =
       (Mathkit.Mat.equal_up_to_phase (Circuit.unitary parsed) (Circuit.unitary c))
   done
 
+(* ---------- structural roundtrip: parse (to_string c) = c ---------- *)
+
+(* circuits drawn from the gate set the emitter passes through verbatim
+   (1q gates, CX, barrier, measure are fixpoints of Decompose.to_cx_basis),
+   so the roundtrip must preserve the instruction list itself, not just the
+   unitary.  Angles go through %.12g, hence the tolerance. *)
+let gen_printable_circuit =
+  let open QCheck.Gen in
+  let gate n =
+    oneof
+      [
+        map (fun q -> (Gate.H, [ q ])) (int_bound (n - 1));
+        map (fun q -> (Gate.X, [ q ])) (int_bound (n - 1));
+        map (fun q -> (Gate.Sdg, [ q ])) (int_bound (n - 1));
+        map (fun q -> (Gate.SX, [ q ])) (int_bound (n - 1));
+        map2 (fun q a -> (Gate.RZ a, [ q ])) (int_bound (n - 1)) (float_bound_inclusive 6.28);
+        map2 (fun q a -> (Gate.RX a, [ q ])) (int_bound (n - 1)) (float_bound_inclusive 6.28);
+        map2
+          (fun q (t, p, l) -> (Gate.U (t, p, l), [ q ]))
+          (int_bound (n - 1))
+          (triple (float_bound_inclusive 3.0) (float_bound_inclusive 3.0)
+             (float_bound_inclusive 3.0));
+        map2
+          (fun a d ->
+            let b = (a + 1 + d) mod n in
+            (Gate.CX, [ a; b ]))
+          (int_bound (n - 1))
+          (int_bound (n - 2));
+      ]
+  in
+  let* n = int_range 2 4 in
+  let* len = int_range 1 20 in
+  let+ gates = list_repeat len (gate n) in
+  let b = Circuit.Builder.create n in
+  List.iter (fun (g, qs) -> Circuit.Builder.add b g qs) gates;
+  Circuit.Builder.circuit b
+
+let same_gate tol (a : Gate.t) (b : Gate.t) =
+  let f x y = Float.abs (x -. y) <= tol in
+  match (a, b) with
+  | Gate.RZ x, Gate.RZ y | Gate.RX x, Gate.RX y | Gate.RY x, Gate.RY y | Gate.P x, Gate.P y
+    ->
+      f x y
+  | Gate.U (t, p, l), Gate.U (t', p', l') -> f t t' && f p p' && f l l'
+  | _ -> a = b
+
+let structurally_equal c c' =
+  Circuit.n_qubits c = Circuit.n_qubits c'
+  && List.length (Circuit.instrs c) = List.length (Circuit.instrs c')
+  && List.for_all2
+       (fun (i : Circuit.instr) (j : Circuit.instr) ->
+         same_gate 1e-10 i.gate j.gate && i.qubits = j.qubits)
+       (Circuit.instrs c) (Circuit.instrs c')
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"parse (print c) = c on the printable gate set" ~count:60
+    (QCheck.make gen_printable_circuit)
+    (fun c -> structurally_equal c (parse (Qasm.to_string c)))
+
+(* ---------- parser error paths from fixture files ---------- *)
+
+let test_error_fixtures () =
+  (* dune runtest runs in test/, dune exec in the workspace root *)
+  let locate file =
+    let local = Filename.concat "fixtures" file in
+    if Sys.file_exists local then local else Filename.concat "test/fixtures" file
+  in
+  let rejects file =
+    try
+      ignore (Qasm_parser.parse_file (locate file));
+      Alcotest.failf "%s should not parse" file
+    with Qasm_parser.Parse_error _ -> ()
+  in
+  rejects "bad_qreg.qasm";
+  rejects "unknown_gate.qasm";
+  rejects "malformed_args.qasm"
+
 let test_parse_then_transpile () =
   (* external QASM input flows through the whole stack *)
   let qasm =
@@ -124,5 +201,7 @@ let () =
           Alcotest.test_case "errors" `Quick test_errors;
           Alcotest.test_case "emitter roundtrip" `Quick test_roundtrip_with_emitter;
           Alcotest.test_case "parse then transpile" `Quick test_parse_then_transpile;
+          Alcotest.test_case "error fixtures" `Quick test_error_fixtures;
+          QCheck_alcotest.to_alcotest roundtrip_prop;
         ] );
     ]

@@ -1,0 +1,184 @@
+(* The observability layer: span-tree well-nestedness, counter consistency
+   (cache hits + misses = lookups), zero recording when disabled, and the
+   headline acceptance property - the exported trace is byte-identical
+   whatever the worker count. *)
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let find name assoc =
+  match List.assoc_opt name assoc with
+  | Some v -> v
+  | None -> Alcotest.failf "missing entry %s" name
+
+(* ---------- spans ---------- *)
+
+let test_span_tree_well_nested () =
+  let root = Qobs.Collector.create ~label:"test" () in
+  Qobs.with_collector root (fun () ->
+      Qobs.span "a" (fun () ->
+          Qobs.span "b" (fun () -> ());
+          Qobs.span "c" (fun () -> Qobs.span "d" (fun () -> ())));
+      Qobs.span "e" (fun () -> ()));
+  checki "all spans closed" 0 (Qobs.Collector.open_spans root);
+  let spans = Qobs.Collector.spans root in
+  checki "five spans" 5 (List.length spans);
+  List.iteri
+    (fun i (s : Qobs.Collector.span_rec) -> checki "preorder seq" i s.sp_seq)
+    spans;
+  let by_seq seq = List.nth spans seq in
+  List.iter
+    (fun (s : Qobs.Collector.span_rec) ->
+      if s.sp_parent = -1 then checki "root depth" 0 s.sp_depth
+      else begin
+        check "parent opened before child" true (s.sp_parent < s.sp_seq);
+        checki "depth is parent + 1" ((by_seq s.sp_parent).sp_depth + 1) s.sp_depth
+      end)
+    spans;
+  let name seq = (by_seq seq).sp_name in
+  let parent seq = (by_seq seq).sp_parent in
+  check "a is a root" true (parent 0 = -1 && name 0 = "a");
+  check "b under a" true (name 1 = "b" && name (parent 1) = "a");
+  check "d under c under a" true
+    (name 3 = "d" && name (parent 3) = "c" && name (parent (parent 3)) = "a");
+  check "e is a root" true (name 4 = "e" && parent 4 = -1)
+
+let test_span_closes_on_exception () =
+  let root = Qobs.Collector.create () in
+  (try
+     Qobs.with_collector root (fun () ->
+         Qobs.span "outer" (fun () -> Qobs.span "boom" (fun () -> failwith "boom")))
+   with Failure _ -> ());
+  checki "no span left open" 0 (Qobs.Collector.open_spans root);
+  checki "both spans recorded" 2 (List.length (Qobs.Collector.spans root))
+
+(* ---------- counters and gauges ---------- *)
+
+let c_test = Qobs.counter "test.counter"
+let g_test = Qobs.gauge "test.gauge"
+
+let test_disabled_records_nothing () =
+  check "inactive outside with_collector" false (Qobs.active ());
+  (* probes must be no-ops, not crashes *)
+  Qobs.incr c_test;
+  Qobs.add c_test 41;
+  Qobs.gauge_set g_test 3.0;
+  Qobs.span "ignored" (fun () -> ());
+  let root = Qobs.Collector.create () in
+  Qobs.with_collector root (fun () -> check "active inside" true (Qobs.active ()));
+  checki "no spans recorded while uninstalled" 0 (List.length (Qobs.Collector.spans root));
+  checki "counter untouched" 0 (find "test.counter" (Qobs.Collector.counters root));
+  check "gauge untouched" true
+    (List.assoc_opt "test.gauge" (Qobs.Collector.gauges root) = None)
+
+let test_counter_and_gauge_recording () =
+  let root = Qobs.Collector.create () in
+  Qobs.with_collector root (fun () ->
+      Qobs.incr c_test;
+      Qobs.add c_test 9;
+      Qobs.gauge_set g_test 2.0;
+      Qobs.gauge_add g_test 0.5);
+  checki "incr + add" 10 (find "test.counter" (Qobs.Collector.counters root));
+  Alcotest.(check (float 1e-12)) "set + add" 2.5 (find "test.gauge" (Qobs.Collector.gauges root))
+
+(* ---------- consistency of the real pipeline counters ---------- *)
+
+let transpile_traced ?(workers = 1) () =
+  let c = Qbench.Generators.qft 6 in
+  let coupling = Topology.Devices.linear 8 in
+  let params = { Qroute.Engine.default_params with seed = 11 } in
+  let root = Qobs.Collector.create ~label:"main" () in
+  let r =
+    Qobs.with_collector root (fun () ->
+        Qroute.Pipeline.transpile ~params ~trials:4 ~workers
+          ~router:(Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config)
+          coupling c)
+  in
+  (root, r)
+
+let test_cache_counters_consistent () =
+  let root, _ = transpile_traced () in
+  let totals = Qobs.Trace.counters_total (Qobs.Trace.of_root root) in
+  let lookups = find "commutation.cache_lookups" totals in
+  let hits = find "commutation.cache_hits" totals in
+  let misses = find "commutation.cache_misses" totals in
+  check "cache exercised" true (lookups > 0);
+  checki "hits + misses = lookups" lookups (hits + misses)
+
+let test_engine_counters_present () =
+  let root, r = transpile_traced () in
+  let totals = Qobs.Trace.counters_total (Qobs.Trace.of_root root) in
+  check "candidates scored" true (find "engine.swap_candidates_scored" totals > 0);
+  check "h_basic evaluated" true (find "engine.h_basic_evals" totals > 0);
+  checki "swaps counted = reported swaps (best trial <= total)" r.n_swaps
+    (match
+       List.find_opt (fun (s : Qroute.Trials.stat) -> s.cx_total = r.cx_total) r.trial_stats
+     with
+    | Some s -> s.n_swaps
+    | None -> -1);
+  checki "one ok outcome per trial" 4 (find "trials.ok" totals);
+  checki "no failed trials" 0 (find "trials.failed" totals)
+
+(* ---------- determinism across worker counts ---------- *)
+
+let test_trace_identical_across_workers () =
+  let jsonl workers =
+    let root, _ = transpile_traced ~workers () in
+    Qobs.Trace.to_jsonl ~times:false (Qobs.Trace.of_root root)
+  in
+  let a = jsonl 1 and b = jsonl 4 in
+  check "trace bytes identical, workers 1 vs 4" true (String.equal a b);
+  check "trace non-trivial" true (String.length a > 1000)
+
+let test_trial_children_in_order () =
+  let root, _ = transpile_traced ~workers:4 () in
+  let trials =
+    List.filter_map Qobs.Collector.trial (Qobs.Collector.children root)
+  in
+  check "children merged in trial order" true (trials = [ 0; 1; 2; 3 ])
+
+(* ---------- realized vs predicted savings gauges ---------- *)
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+let test_savings_gauges_exported () =
+  let root, _ = transpile_traced () in
+  let jsonl = Qobs.Trace.to_jsonl (Qobs.Trace.of_root root) in
+  check "predicted savings exported" true
+    (contains ~affix:"engine.predicted_cnot_savings" jsonl);
+  check "realized savings exported" true
+    (contains ~affix:"trial.realized_cnot_savings" jsonl);
+  check "per-pass spans exported" true (contains ~affix:"\"pass.cancellation\"" jsonl);
+  check "no timing fields by default" false (contains ~affix:"wall_ms" jsonl)
+
+let () =
+  Alcotest.run "qobs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "well-nested tree" `Quick test_span_tree_well_nested;
+          Alcotest.test_case "closes on exception" `Quick test_span_closes_on_exception;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
+          Alcotest.test_case "counter and gauge recording" `Quick
+            test_counter_and_gauge_recording;
+          Alcotest.test_case "cache hits + misses = lookups" `Quick
+            test_cache_counters_consistent;
+          Alcotest.test_case "engine counters present" `Quick test_engine_counters_present;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "trace identical workers 1 vs 4" `Quick
+            test_trace_identical_across_workers;
+          Alcotest.test_case "children merged in trial order" `Quick
+            test_trial_children_in_order;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "savings gauges exported" `Quick test_savings_gauges_exported ]
+      );
+    ]
