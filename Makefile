@@ -1,4 +1,4 @@
-.PHONY: all build test coverage fmt bench profile ci clean
+.PHONY: all build test coverage fmt lint bench profile ci clean
 
 all: build
 
@@ -25,6 +25,12 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
+# full static-analysis sweep: pass-contract validation, the
+# commutation/savings audit, and the Qlint rule set over the example QASM
+# programs and the whole qbench suite; diagnostics land in lint.jsonl
+lint:
+	dune exec bin/nassc_cli.exe -- check --suite --jsonl lint.jsonl examples/qasm/*.qasm
+
 bench:
 	dune exec bench/main.exe -- --only trials
 
@@ -32,7 +38,7 @@ bench:
 profile:
 	dune exec bench/main.exe -- --only profile
 
-ci: build test fmt
+ci: build test fmt lint
 
 clean:
 	dune clean

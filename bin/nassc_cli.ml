@@ -38,6 +38,13 @@ let qasm_arg =
   let doc = "Print the transpiled circuit as OpenQASM 2." in
   Arg.(value & flag & info [ "qasm" ] ~doc)
 
+let lint_arg =
+  let doc =
+    "Run the full Qlint rule set (structural rules, basis conformance, CheckMap, layout \
+     validity) over the transpiled result and exit non-zero on any violation."
+  in
+  Arg.(value & flag & info [ "lint" ] ~doc)
+
 let trace_arg =
   let doc =
     "Record an observability trace (per-pass spans, counters, per-trial gauges) and emit \
@@ -86,6 +93,13 @@ let check_pool_args trials workers =
     | Some w when w < 1 -> Error "--workers must be >= 1"
     | _ -> Ok ()
 
+(* surface lint diagnostics on stderr; the return value is the exit code *)
+let lint_result coupling (r : Qroute.Pipeline.result) =
+  let diags = Qlint.Checked.check_result ~coupling r in
+  List.iter (fun d -> Format.eprintf "%a@." Qlint.Diagnostic.pp d) diags;
+  Format.eprintf "%a@." (fun ppf -> Qlint.Diagnostic.pp_summary ppf ~checks:(Qlint.Rules.checks_run ())) diags;
+  if Qlint.Diagnostic.has_errors diags then 1 else 0
+
 let print_trial_stats (r : Qroute.Pipeline.result) =
   if List.length r.trial_stats > 1 then begin
     Printf.printf "trials:          %d\n" (List.length r.trial_stats);
@@ -103,7 +117,8 @@ let print_trial_stats (r : Qroute.Pipeline.result) =
       r.trial_stats
   end
 
-let transpile_cmd benchmark topology size router seed trials workers qasm trace trace_times =
+let transpile_cmd benchmark topology size router seed trials workers qasm lint trace
+    trace_times =
   match
     Result.bind (check_pool_args trials workers) (fun () ->
         try Ok (Qbench.Suite.find benchmark)
@@ -124,14 +139,20 @@ let transpile_cmd benchmark topology size router seed trials workers qasm trace 
       | Error e ->
           prerr_endline e;
           1
-      | Ok router ->
+      | Ok router -> begin
           let circuit = entry.build () in
           let params = { Qroute.Engine.default_params with seed } in
-          let r =
+          match
             with_trace trace trace_times (fun () ->
                 Qroute.Pipeline.transpile ~params ~calibration:cal ~trials ?workers ~router
                   coupling circuit)
-          in
+          with
+          | exception (Qroute.Engine.Routing_stuck _ as e) ->
+              Format.eprintf "%a@." Qlint.Diagnostic.pp
+                (Qlint.Diagnostic.error ~loc:(Qlint.Diagnostic.Stage "route")
+                   ~rule:"route.stuck" (Printexc.to_string e));
+              1
+          | r ->
           Printf.printf "benchmark:       %s (%d qubits)\n" entry.name entry.n_qubits;
           Printf.printf "topology:        %s (%d qubits)\n" topology
             (Topology.Coupling.n_qubits coupling);
@@ -147,14 +168,16 @@ let transpile_cmd benchmark topology size router seed trials workers qasm trace 
                 (String.concat " " (Array.to_list (Array.map string_of_int fl)))
           | None -> ());
           if qasm then print_string (Qcircuit.Qasm.to_string r.circuit);
-          0
+          if lint then lint_result coupling r else 0
+        end
     end
 
 let file_arg =
   let doc = "OpenQASM 2 file to transpile." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
-let transpile_file_cmd path topology size router seed trials workers qasm trace trace_times =
+let transpile_file_cmd path topology size router seed trials workers qasm lint trace
+    trace_times =
   match
     Result.bind (check_pool_args trials workers) (fun () ->
         try Ok (Qcircuit.Qasm_parser.parse_file path) with
@@ -176,13 +199,19 @@ let transpile_file_cmd path topology size router seed trials workers qasm trace 
       | Error e ->
           prerr_endline e;
           1
-      | Ok router ->
+      | Ok router -> begin
           let params = { Qroute.Engine.default_params with seed } in
-          let r =
+          match
             with_trace trace trace_times (fun () ->
                 Qroute.Pipeline.transpile ~params ~calibration:cal ~trials ?workers ~router
                   coupling circuit)
-          in
+          with
+          | exception (Qroute.Engine.Routing_stuck _ as e) ->
+              Format.eprintf "%a@." Qlint.Diagnostic.pp
+                (Qlint.Diagnostic.error ~loc:(Qlint.Diagnostic.Stage "route")
+                   ~rule:"route.stuck" (Printexc.to_string e));
+              1
+          | r ->
           Printf.printf "input:           %s (%d qubits, %d ops)\n" path
             (Qcircuit.Circuit.n_qubits circuit)
             (Qcircuit.Circuit.size circuit);
@@ -192,8 +221,116 @@ let transpile_file_cmd path topology size router seed trials workers qasm trace 
           Printf.printf "wall time:       %.3f s\n" r.transpile_time;
           print_trial_stats r;
           if qasm then print_string (Qcircuit.Qasm.to_string r.circuit);
-          0
+          if lint then lint_result coupling r else 0
+        end
     end
+
+(* ---- check: the static-analysis entry point ---- *)
+
+let files_arg =
+  let doc = "OpenQASM 2 files to lint and transpile-check." in
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+
+let pipeline_arg =
+  let doc =
+    "Validate this comma-separated pass sequence against the pass contracts instead of \
+     the canonical pipeline, e.g. 'lower_to_2q,peephole,route,basis'."
+  in
+  Arg.(value & opt (some string) None & info [ "pipeline" ] ~docv:"SPEC" ~doc)
+
+let suite_arg =
+  let doc = "Also transpile-check every circuit of the qbench paper suite." in
+  Arg.(value & flag & info [ "suite" ] ~doc)
+
+let no_audit_arg =
+  let doc = "Skip the commutation-table and CNOT-savings audit." in
+  Arg.(value & flag & info [ "no-audit" ] ~doc)
+
+let jsonl_arg =
+  let doc = "Append every diagnostic as a JSON line to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
+
+let check_cmd files topology size router_name seed pipeline suite no_audit jsonl =
+  let buf = Buffer.create 256 in
+  let n_errors = ref 0 in
+  let report target diags =
+    List.iter
+      (fun d ->
+        Buffer.add_string buf (Qlint.Diagnostic.to_json d);
+        Buffer.add_char buf '\n';
+        Format.printf "%s: %a@." target Qlint.Diagnostic.pp d)
+      diags;
+    n_errors := !n_errors + List.length (Qlint.Diagnostic.errors diags)
+  in
+  let coupling =
+    try Topology.Devices.by_name topology size
+    with Invalid_argument m ->
+      prerr_endline m;
+      exit 1
+  in
+  let cal = Topology.Calibration.generate coupling in
+  match router_of_string cal router_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok router ->
+      (* 1. static pipeline validation: the user's --pipeline spec, or the
+         canonical sequence the selected router would run *)
+      (match pipeline with
+      | Some spec ->
+          let names =
+            String.split_on_char ',' spec |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+          in
+          let diags = Qlint.Contract.validate names in
+          report "pipeline" diags;
+          Printf.printf "pipeline: %d stages, %s\n" (List.length names)
+            (if Qlint.Diagnostic.has_errors diags then "REJECTED" else "legal")
+      | None ->
+          let diags = Qlint.Checked.validate_pipeline ~router in
+          report (Printf.sprintf "pipeline(%s)" router_name) diags;
+          Printf.printf "pipeline(%s): %d stages, %s\n" router_name
+            (List.length (Qlint.Checked.canonical_stage_names ~router))
+            (if Qlint.Diagnostic.has_errors diags then "REJECTED" else "legal"));
+      (* 2. commutation / savings audit against dense-unitary ground truth *)
+      if not no_audit then begin
+        let rep = Qlint.Audit.run ~seed () in
+        report "audit" rep.diags;
+        Printf.printf "audit: %d commutation pairs, %d savings scenarios, %s\n"
+          rep.pairs_checked rep.scenarios_checked
+          (if Qlint.Diagnostic.has_errors rep.diags then "FAILED" else "sound")
+      end;
+      (* 3. lint + guarded transpile of each input circuit *)
+      let params = { Qroute.Engine.default_params with seed } in
+      let check_circuit target circuit =
+        match
+          Qlint.Checked.transpile ~params ~calibration:cal ~router coupling circuit
+        with
+        | Ok r ->
+            Printf.printf "%s: ok (cx=%d depth=%d swaps=%d)\n" target
+              r.Qroute.Pipeline.cx_total r.Qroute.Pipeline.depth r.Qroute.Pipeline.n_swaps
+        | Error diags -> report target diags
+        | exception Invalid_argument m ->
+            report target [ Qlint.Diagnostic.error ~rule:"check.invalid-input" m ]
+      in
+      List.iter
+        (fun f ->
+          match Qlint.Rules.lint_qasm_file f with
+          | Error d -> report f [ d ]
+          | Ok circuit -> check_circuit f circuit)
+        files;
+      if suite then
+        List.iter
+          (fun (e : Qbench.Suite.entry) -> check_circuit ("suite:" ^ e.name) (e.build ()))
+          Qbench.Suite.paper_suite;
+      (match jsonl with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          Buffer.output_buffer oc buf;
+          close_out oc);
+      Printf.printf "checks run: %d, errors: %d\n" (Qlint.Rules.checks_run ()) !n_errors;
+      if !n_errors > 0 then 1 else 0
 
 let list_cmd () =
   Printf.printf "%-24s %7s %6s %6s\n" "name" "qubits" "heavy" "noise";
@@ -206,7 +343,7 @@ let list_cmd () =
 let transpile_t =
   Term.(
     const transpile_cmd $ benchmark_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
-    $ trials_arg $ workers_arg $ qasm_arg $ trace_arg $ trace_times_arg)
+    $ trials_arg $ workers_arg $ qasm_arg $ lint_arg $ trace_arg $ trace_times_arg)
 
 let cmd_transpile =
   Cmd.v (Cmd.info "transpile" ~doc:"Transpile a benchmark and report metrics") transpile_t
@@ -216,17 +353,30 @@ let cmd_list = Cmd.v (Cmd.info "list" ~doc:"List available benchmarks") Term.(co
 let transpile_file_t =
   Term.(
     const transpile_file_cmd $ file_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
-    $ trials_arg $ workers_arg $ qasm_arg $ trace_arg $ trace_times_arg)
+    $ trials_arg $ workers_arg $ qasm_arg $ lint_arg $ trace_arg $ trace_times_arg)
 
 let cmd_transpile_file =
   Cmd.v
     (Cmd.info "transpile-file" ~doc:"Transpile an OpenQASM 2 file")
     transpile_file_t
 
+let check_t =
+  Term.(
+    const check_cmd $ files_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
+    $ pipeline_arg $ suite_arg $ no_audit_arg $ jsonl_arg)
+
+let cmd_check =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Static analysis: validate pass-contract orderings, audit the commutation and \
+          CNOT-savings tables against ground truth, and lint circuits end to end")
+    check_t
+
 let main =
   Cmd.group
     (Cmd.info "nassc" ~version:"1.0.0"
        ~doc:"Optimization-aware qubit routing (NASSC, HPCA 2022) in OCaml")
-    [ cmd_transpile; cmd_transpile_file; cmd_list ]
+    [ cmd_transpile; cmd_transpile_file; cmd_check; cmd_list ]
 
 let () = exit (Cmd.eval' main)

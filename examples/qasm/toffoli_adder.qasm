@@ -1,0 +1,16 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// One-bit full adder out of Toffolis and CNOTs: tests 3q lowering
+// (ccx must be decomposed before routing) plus mixed 1q rotations.
+qreg q[4];
+x q[0];
+rz(0.25) q[1];
+ccx q[0],q[1],q[3];
+cx q[0],q[1];
+ccx q[1],q[2],q[3];
+cx q[1],q[2];
+cx q[0],q[1];
+h q[2];
+t q[3];
+barrier q[0],q[1],q[2],q[3];
+measure q[2] -> c[0];

@@ -23,6 +23,19 @@ let default_params =
     bonus_weight = 1.0;
   }
 
+exception Routing_stuck of { front : (int * int) list; l2p : int array }
+
+let () =
+  Printexc.register_printer (function
+    | Routing_stuck { front; l2p } ->
+        Some
+          (Printf.sprintf
+             "Engine.Routing_stuck: no swap candidates for front {%s} under mapping [%s]"
+             (String.concat "; "
+                (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) front))
+             (String.concat " " (Array.to_list (Array.map string_of_int l2p))))
+    | _ -> None)
+
 type tag = Not_swap | Swap_plain | Swap_orient of int * int
 type out_op = { mutable gate : Gate.t; op_qubits : int list; mutable tag : tag }
 type mapping = { l2p : int array; p2l : int array }
@@ -194,7 +207,8 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
       if ext_pairs <> [] then Qobs.add c_h_lookahead n_cand
     end;
     match scored with
-    | [] -> invalid_arg "Engine.route_once: stuck with no swap candidates"
+    | [] ->
+        raise (Routing_stuck { front = front_pairs; l2p = Array.copy mapping.l2p })
     | _ ->
         let best_h = List.fold_left (fun m (h, _, _, _) -> Float.min m h) infinity scored in
         let best = List.filter (fun (h, _, _, _) -> h <= best_h +. 1e-12) scored in

@@ -27,6 +27,14 @@ type params = {
 
 val default_params : params
 
+exception Routing_stuck of { front : (int * int) list; l2p : int array }
+(** The search found a front layer of two-qubit gates with no candidate
+    SWAP at all (e.g. the mapped qubits sit on isolated device vertices).
+    [front] holds the stuck gates as physical pairs under [l2p], the
+    logical-to-physical mapping at the point of failure — enough context
+    to report the failure as a structured diagnostic instead of a crash.
+    A printer is registered, so [Printexc.to_string] renders it fully. *)
+
 type tag = Not_swap | Swap_plain | Swap_orient of int * int
 (** Decoration on emitted SWAPs: [Swap_orient (c, t)] requests the
     decomposition whose first and last CNOTs have control [c], target [t]. *)
@@ -82,7 +90,8 @@ val route_once :
     pass {!route_rng} for the canonical seeded stream, or an independent
     per-trial stream for multi-trial search.  The input circuit must contain
     only <=2-qubit gates and directives.
-    @raise Invalid_argument otherwise, or when the layout is unusable. *)
+    @raise Invalid_argument otherwise, or when the layout is unusable.
+    @raise Routing_stuck when a front gate has no swap candidates. *)
 
 val find_layout :
   params ->

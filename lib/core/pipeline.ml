@@ -33,24 +33,43 @@ let lower_to_2q c =
    --only profile` can attribute time per pass; a no-op without a collector *)
 let pass name f c = Qobs.span ("pass." ^ name) (fun () -> f c)
 
+type stage = string * (Qcircuit.Circuit.t -> Qcircuit.Circuit.t)
+
+(* the optimization bundles as data: static analysis (Qlint) validates the
+   ordering against pass contracts and a checked runner can verify the
+   declared properties between stages, without duplicating the stage list *)
+let pre_stages : stage list =
+  [
+    ("peephole", Peephole.run);
+    ("optimize_1q.u", Optimize_1q.run Optimize_1q.U_gate);
+    ("cancellation", Cancellation.run_fixpoint ~max_rounds:3);
+    ("unitary_synthesis", Unitary_synthesis.run);
+    ("optimize_1q.u", Optimize_1q.run Optimize_1q.U_gate);
+  ]
+
+let post_stages : stage list =
+  [
+    ("peephole", Peephole.run);
+    ("cancellation", Cancellation.run_fixpoint ~max_rounds:3);
+    ("unitary_synthesis", Unitary_synthesis.run);
+    ("basis", Basis.run);
+    ("cancellation", Cancellation.run_fixpoint ~max_rounds:2);
+    ("optimize_1q.zsx", Optimize_1q.run Optimize_1q.Zsx);
+  ]
+
+let run_stages stages c = List.fold_left (fun c (name, f) -> pass name f c) c stages
+
+let stage_names ~router =
+  let names stages = List.map fst stages in
+  ("lower_to_2q" :: names pre_stages)
+  @ (match router with Full_connectivity -> [] | _ -> [ "route" ])
+  @ names post_stages
+
 let pre_optimize c =
-  Qobs.span "pipeline.pre_optimize" @@ fun () ->
-  c
-  |> pass "peephole" Peephole.run
-  |> pass "optimize_1q" (Optimize_1q.run Optimize_1q.U_gate)
-  |> pass "cancellation" (Cancellation.run_fixpoint ~max_rounds:3)
-  |> pass "unitary_synthesis" Unitary_synthesis.run
-  |> pass "optimize_1q" (Optimize_1q.run Optimize_1q.U_gate)
+  Qobs.span "pipeline.pre_optimize" @@ fun () -> run_stages pre_stages c
 
 let post_optimize c =
-  Qobs.span "pipeline.post_optimize" @@ fun () ->
-  c
-  |> pass "peephole" Peephole.run
-  |> pass "cancellation" (Cancellation.run_fixpoint ~max_rounds:3)
-  |> pass "unitary_synthesis" Unitary_synthesis.run
-  |> pass "basis" Basis.run
-  |> pass "cancellation" (Cancellation.run_fixpoint ~max_rounds:2)
-  |> pass "optimize_1q" (Optimize_1q.run Optimize_1q.Zsx)
+  Qobs.span "pipeline.post_optimize" @@ fun () -> run_stages post_stages c
 
 let noise_dist calibration coupling =
   match calibration with

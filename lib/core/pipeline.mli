@@ -43,12 +43,32 @@ type result = {
 val lower_to_2q : Qcircuit.Circuit.t -> Qcircuit.Circuit.t
 (** Structural lowering to {one-qubit gates, CX, directives}. *)
 
+type stage = string * (Qcircuit.Circuit.t -> Qcircuit.Circuit.t)
+(** A named optimization stage.  The name identifies the stage's contract
+    in the static-analysis layer ([Qlint.Contract]) and its [pass.<name>]
+    observability span. *)
+
+val pre_stages : stage list
+(** The logical-circuit optimization bundle run before routing, in order. *)
+
+val post_stages : stage list
+(** The physical-circuit optimization bundle run after routing, in order,
+    ending in the hardware basis. *)
+
+val run_stages : stage list -> Qcircuit.Circuit.t -> Qcircuit.Circuit.t
+(** Fold the stages over a circuit, each under its [pass.<name>] span. *)
+
+val stage_names : router:router -> string list
+(** The full pipeline as pass names — [lower_to_2q], the pre-routing
+    stages, [route] (absent for {!Full_connectivity}), then the
+    post-routing stages.  This is the sequence the static pass-contract
+    validator checks. *)
+
 val pre_optimize : Qcircuit.Circuit.t -> Qcircuit.Circuit.t
-(** The logical-circuit optimization bundle run before routing. *)
+(** [run_stages pre_stages] under the [pipeline.pre_optimize] span. *)
 
 val post_optimize : Qcircuit.Circuit.t -> Qcircuit.Circuit.t
-(** The physical-circuit optimization bundle run after routing, ending in
-    the hardware basis. *)
+(** [run_stages post_stages] under the [pipeline.post_optimize] span. *)
 
 val transpile :
   ?params:Engine.params ->

@@ -10,13 +10,20 @@ let check_instr n { gate; qubits } =
       (Printf.sprintf "Circuit: gate %s expects %d qubits, got %d" (Gate.name gate)
          (Gate.arity gate) k);
   List.iter
-    (fun q -> if q < 0 || q >= n then invalid_arg "Circuit: qubit index out of range")
+    (fun q ->
+      if q < 0 || q >= n then
+        invalid_arg
+          (Printf.sprintf "Circuit: qubit index %d out of range for %d-qubit circuit" q n))
     qubits;
   let sorted = List.sort_uniq compare qubits in
-  if List.length sorted <> k then invalid_arg "Circuit: repeated qubit in instruction"
+  if List.length sorted <> k then
+    invalid_arg
+      (Printf.sprintf "Circuit: repeated qubit in %s %s" (Gate.name gate)
+         (String.concat "," (List.map string_of_int qubits)))
 
 let create n instrs =
-  if n < 0 then invalid_arg "Circuit.create: negative qubit count";
+  if n < 0 then
+    invalid_arg (Printf.sprintf "Circuit.create: negative qubit count %d" n);
   List.iter (check_instr n) instrs;
   { n; instrs }
 
@@ -34,7 +41,9 @@ let append c gate qubits =
   { c with instrs = c.instrs @ [ i ] }
 
 let concat a b =
-  if a.n <> b.n then invalid_arg "Circuit.concat: qubit-count mismatch";
+  if a.n <> b.n then
+    invalid_arg
+      (Printf.sprintf "Circuit.concat: qubit-count mismatch (%d vs %d)" a.n b.n);
   { a with instrs = a.instrs @ b.instrs }
 
 let inverse c =
@@ -43,7 +52,10 @@ let inverse c =
   { c with instrs = List.rev_map inv (List.filter keep c.instrs) }
 
 let remap c perm =
-  if Array.length perm <> c.n then invalid_arg "Circuit.remap: permutation size";
+  if Array.length perm <> c.n then
+    invalid_arg
+      (Printf.sprintf "Circuit.remap: permutation size %d does not match %d qubits"
+         (Array.length perm) c.n);
   let f i = { i with qubits = List.map (fun q -> perm.(q)) i.qubits } in
   { c with instrs = List.map f c.instrs }
 

@@ -1,12 +1,20 @@
+type error = { line : int; col : int; msg : string }
+
+let string_of_error { line; col; msg } = Printf.sprintf "line %d, col %d: %s" line col msg
+
 exception Parse_error of string
 
-let fail line msg = raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+(* internal: rejections carry their source position and are converted to the
+   public representation at the parse_result boundary *)
+exception Located of error
+
+let fail (line, col) msg = raise (Located { line; col; msg })
 
 (* ---- angle expression evaluator (pi, literals, + - * /, parens) ---- *)
 
 type tok = Num of float | Op of char | LPar | RPar
 
-let lex_expr line s =
+let lex_expr pos s =
   let n = String.length s in
   let toks = ref [] in
   let i = ref 0 in
@@ -43,14 +51,14 @@ let lex_expr line s =
       toks := Num Float.pi :: !toks;
       i := !i + 2
     end
-    else fail line (Printf.sprintf "unexpected character %c in expression %S" c s)
+    else fail pos (Printf.sprintf "unexpected character %c in expression %S" c s)
   done;
   List.rev !toks
 
 (* recursive-descent: expr := term (('+'|'-') term)*; term := factor
    (('*'|'/') factor)*; factor := '-' factor | '(' expr ')' | number *)
-let eval_expr line s =
-  let toks = ref (lex_expr line s) in
+let eval_expr pos s =
+  let toks = ref (lex_expr pos s) in
   let peek () = match !toks with [] -> None | t :: _ -> Some t in
   let advance () = match !toks with [] -> () | _ :: rest -> toks := rest in
   let rec expr () =
@@ -95,15 +103,15 @@ let eval_expr line s =
         let v = expr () in
         (match peek () with
         | Some RPar -> advance ()
-        | _ -> fail line "expected )");
+        | _ -> fail pos "expected )");
         v
     | Some (Num x) ->
         advance ();
         x
-    | _ -> fail line ("bad expression: " ^ s)
+    | _ -> fail pos ("bad expression: " ^ s)
   in
   let v = expr () in
-  if !toks <> [] then fail line ("trailing tokens in expression: " ^ s);
+  if !toks <> [] then fail pos ("trailing tokens in expression: " ^ s);
   v
 
 (* ---- statement parsing ---- *)
@@ -116,7 +124,7 @@ let strip_comment s =
   | _ -> s
 
 (* "name(args) q[1],q[2]" -> (name, Some args, operands) *)
-let split_application line stmt =
+let split_application pos stmt =
   let stmt = strip stmt in
   let head, rest =
     match String.index_opt stmt ' ' with
@@ -126,22 +134,27 @@ let split_application line stmt =
   match String.index_opt head '(' with
   | None -> (head, None, rest)
   | Some i ->
-      if head.[String.length head - 1] <> ')' then fail line "malformed parameter list";
+      if head.[String.length head - 1] <> ')' then fail pos "malformed parameter list";
       let name = String.sub head 0 i in
       let args = String.sub head (i + 1) (String.length head - i - 2) in
       (name, Some args, rest)
 
-let parse_qubit line reg s =
+let parse_qubit pos (reg, size) s =
   let s = strip s in
-  let fail_q () = fail line (Printf.sprintf "bad operand %S" s) in
+  let fail_q () = fail pos (Printf.sprintf "bad operand %S" s) in
   match (String.index_opt s '[', String.index_opt s ']') with
   | Some i, Some j when j > i ->
       let name = String.sub s 0 i in
-      if name <> reg then fail line (Printf.sprintf "unknown register %s" name);
-      (try int_of_string (String.sub s (i + 1) (j - i - 1)) with _ -> fail_q ())
+      if name <> reg then fail pos (Printf.sprintf "unknown register %s" name);
+      let q =
+        try int_of_string (String.sub s (i + 1) (j - i - 1)) with _ -> fail_q ()
+      in
+      if q < 0 || q >= size then
+        fail pos (Printf.sprintf "qubit index %d out of range for %s[%d]" q reg size);
+      q
   | _ -> fail_q ()
 
-let split_args line s =
+let split_args s =
   (* split on commas not inside parentheses *)
   let out = ref [] and buf = Buffer.create 8 and depth = ref 0 in
   String.iter
@@ -161,14 +174,13 @@ let split_args line s =
       else Buffer.add_char buf c)
     s;
   if Buffer.length buf > 0 then out := Buffer.contents buf :: !out;
-  ignore line;
   List.rev_map strip !out
 
-let gate_of_name line name params =
+let gate_of_name pos name params =
   let p k = List.nth params k in
   let arity_check n =
     if List.length params <> n then
-      fail line (Printf.sprintf "%s expects %d parameters" name n)
+      fail pos (Printf.sprintf "%s expects %d parameters" name n)
   in
   match (name, List.length params) with
   | "id", 0 -> Qgate.Gate.Id
@@ -224,83 +236,134 @@ let gate_of_name line name params =
   | "ccz", 0 -> Qgate.Gate.CCZ
   | "cswap", 0 -> Qgate.Gate.CSWAP
   | "mcx", 0 -> Qgate.Gate.MCX 0 (* arity fixed by operand count below *)
-  | _ -> fail line (Printf.sprintf "unsupported gate %s" name)
+  | _ -> fail pos (Printf.sprintf "unsupported gate %s" name)
 
-let parse text =
+(* located legality check, mirroring Circuit.check_instr: report arity and
+   operand errors at their source statement instead of from Circuit.create *)
+let check_operands pos gate qs =
+  let arity = Qgate.Gate.arity gate in
+  let k = List.length qs in
+  if k <> arity then
+    fail pos
+      (Printf.sprintf "gate %s expects %d qubit operands, got %d" (Qgate.Gate.name gate)
+         arity k);
+  if List.length (List.sort_uniq compare qs) <> k then
+    fail pos
+      (Printf.sprintf "repeated qubit operand in %s %s" (Qgate.Gate.name gate)
+         (String.concat "," (List.map string_of_int qs)))
+
+(* statements of one physical line as (1-based column, text) pairs; several
+   statements may share a line, separated by ';' *)
+let statements_of_line raw =
+  let body = strip_comment raw in
+  let n = String.length body in
+  let out = ref [] in
+  let flush start stop =
+    let s = String.sub body start (stop - start) in
+    (* point the column at the first non-blank character *)
+    let lead = ref 0 in
+    let len = String.length s in
+    while !lead < len && (s.[!lead] = ' ' || s.[!lead] = '\t') do
+      incr lead
+    done;
+    if strip s <> "" then out := (start + !lead + 1, strip s) :: !out
+  in
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    if body.[i] = ';' then begin
+      flush !start i;
+      start := i + 1
+    end
+  done;
+  if !start < n then flush !start n;
+  List.rev !out
+
+let parse_result text =
   let lines = String.split_on_char '\n' text in
   let qreg = ref None in
   let instrs = ref [] in
   let lineno = ref 0 in
-  let handle_statement stmt =
-    let line = !lineno in
-    let stmt = strip stmt in
-    if stmt = "" then ()
-    else begin
-      let name, args, operands = split_application line stmt in
-      match name with
-      | "OPENQASM" | "include" -> ()
-      | "qreg" -> begin
-          match (String.index_opt operands '[', String.index_opt operands ']') with
-          | Some i, Some j when j > i ->
-              let reg = String.sub operands 0 i in
-              let size = int_of_string (String.sub operands (i + 1) (j - i - 1)) in
-              if !qreg <> None then fail line "multiple qreg declarations unsupported";
-              qreg := Some (reg, size)
-          | _ -> fail line "malformed qreg"
-        end
-      | "creg" -> ()
-      | "barrier" -> begin
-          match !qreg with
-          | None -> fail line "barrier before qreg"
-          | Some (reg, _) ->
-              let qs = List.map (parse_qubit line reg) (split_args line operands) in
-              instrs := { Circuit.gate = Qgate.Gate.Barrier (List.length qs); qubits = qs } :: !instrs
-        end
-      | "measure" -> begin
-          match !qreg with
-          | None -> fail line "measure before qreg"
-          | Some (reg, _) -> begin
-              match String.index_opt operands '-' with
-              | Some i when i + 1 < String.length operands && operands.[i + 1] = '>' ->
-                  let q = parse_qubit line reg (String.sub operands 0 i) in
-                  instrs := { Circuit.gate = Qgate.Gate.Measure; qubits = [ q ] } :: !instrs
-              | _ -> fail line "malformed measure"
-            end
-        end
-      | _ -> begin
-          match !qreg with
-          | None -> fail line "gate before qreg"
-          | Some (reg, _) ->
-              let params =
-                match args with
-                | None -> []
-                | Some a -> List.map (eval_expr line) (split_args line a)
-              in
-              let qs = List.map (parse_qubit line reg) (split_args line operands) in
-              let gate =
-                match gate_of_name line name params with
-                | Qgate.Gate.MCX _ -> Qgate.Gate.MCX (List.length qs - 1)
-                | g -> g
-              in
-              instrs := { Circuit.gate; qubits = qs } :: !instrs
-        end
-    end
+  let handle_statement pos stmt =
+    let name, args, operands = split_application pos stmt in
+    match name with
+    | "OPENQASM" | "include" -> ()
+    | "qreg" -> begin
+        match (String.index_opt operands '[', String.index_opt operands ']') with
+        | Some i, Some j when j > i ->
+            let reg = String.sub operands 0 i in
+            let size =
+              try int_of_string (String.sub operands (i + 1) (j - i - 1))
+              with _ -> fail pos "malformed qreg size"
+            in
+            if size < 0 then fail pos (Printf.sprintf "negative qreg size %d" size);
+            if !qreg <> None then fail pos "multiple qreg declarations unsupported";
+            qreg := Some (reg, size)
+        | _ -> fail pos "malformed qreg"
+      end
+    | "creg" -> ()
+    | "barrier" -> begin
+        match !qreg with
+        | None -> fail pos "barrier before qreg"
+        | Some reg ->
+            let qs = List.map (parse_qubit pos reg) (split_args operands) in
+            instrs :=
+              { Circuit.gate = Qgate.Gate.Barrier (List.length qs); qubits = qs } :: !instrs
+      end
+    | "measure" -> begin
+        match !qreg with
+        | None -> fail pos "measure before qreg"
+        | Some reg -> begin
+            match String.index_opt operands '-' with
+            | Some i when i + 1 < String.length operands && operands.[i + 1] = '>' ->
+                let q = parse_qubit pos reg (String.sub operands 0 i) in
+                instrs := { Circuit.gate = Qgate.Gate.Measure; qubits = [ q ] } :: !instrs
+            | _ -> fail pos "malformed measure"
+          end
+      end
+    | _ -> begin
+        match !qreg with
+        | None -> fail pos "gate before qreg"
+        | Some reg ->
+            let params =
+              match args with
+              | None -> []
+              | Some a -> List.map (eval_expr pos) (split_args a)
+            in
+            let qs = List.map (parse_qubit pos reg) (split_args operands) in
+            let gate =
+              match gate_of_name pos name params with
+              | Qgate.Gate.MCX _ -> Qgate.Gate.MCX (List.length qs - 1)
+              | g -> g
+            in
+            check_operands pos gate qs;
+            instrs := { Circuit.gate; qubits = qs } :: !instrs
+      end
   in
-  List.iter
-    (fun raw ->
-      incr lineno;
-      let body = strip (strip_comment raw) in
-      if body <> "" then
-        (* several statements may share a line; they end with ';' *)
-        String.split_on_char ';' body |> List.iter handle_statement)
-    lines;
-  match !qreg with
-  | None -> raise (Parse_error "no qreg declaration found")
-  | Some (_, size) -> Circuit.create size (List.rev !instrs)
+  try
+    List.iter
+      (fun raw ->
+        incr lineno;
+        List.iter
+          (fun (col, stmt) -> handle_statement (!lineno, col) stmt)
+          (statements_of_line raw))
+      lines;
+    match !qreg with
+    | None -> Error { line = !lineno; col = 1; msg = "no qreg declaration found" }
+    | Some (_, size) -> Ok (Circuit.create size (List.rev !instrs))
+  with Located e -> Error e
 
-let parse_file path =
+let parse text =
+  match parse_result text with
+  | Ok c -> c
+  | Error e -> raise (Parse_error (string_of_error e))
+
+let read_file path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let buf = really_input_string ic n in
   close_in ic;
-  parse buf
+  buf
+
+let parse_file_result path = parse_result (read_file path)
+
+let parse_file path = parse (read_file path)

@@ -5,13 +5,31 @@
     {!Qgate.Gate.t} (id x y z h s sdg t tdg sx sxdg rx ry rz p u1 u2 u3 u
     cx cy cz ch swap crx cry crz cp cu1 rzz ccx ccz cswap), [barrier], and
     [measure q[i] -> c[j]].  Angle expressions may use [pi], numeric
-    literals, unary minus, [* / + -] and parentheses. *)
+    literals, unary minus, [* / + -] and parentheses.
+
+    Every rejection carries the source position: qubit indices are checked
+    against the declared register size, and gate arity / repeated operands
+    are validated per statement, so a bad program fails here with a line
+    and column instead of deep inside {!Circuit.create}. *)
+
+type error = { line : int; col : int; msg : string }
+(** A parse failure at a 1-based source position.  [col] points at the
+    start of the offending statement. *)
+
+val string_of_error : error -> string
+(** ["line 4, col 12: unsupported gate foo"]. *)
 
 exception Parse_error of string
-(** Raised with a human-readable message and line number. *)
+(** Raised by {!parse} / {!parse_file} with {!string_of_error} applied. *)
+
+val parse_result : string -> (Circuit.t, error) result
+(** Parse a full OpenQASM 2 program, returning the structured error. *)
+
+val parse_file_result : string -> (Circuit.t, error) result
+(** Like {!parse_result}, from disk.  @raise Sys_error on I/O failure. *)
 
 val parse : string -> Circuit.t
-(** Parse a full OpenQASM 2 program. *)
+(** Parse a full OpenQASM 2 program.  @raise Parse_error on failure. *)
 
 val parse_file : string -> Circuit.t
 (** Parse a file from disk. *)

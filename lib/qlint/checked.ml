@@ -1,0 +1,161 @@
+open Contract
+
+let canonical_stage_names ~router = Qroute.Pipeline.stage_names ~router
+
+let validate_pipeline ~router =
+  let goal =
+    match router with
+    | Qroute.Pipeline.Full_connectivity -> [ Hardware_basis ]
+    | _ -> [ Hardware_basis; Routed_for ]
+  in
+  Contract.validate ~initial:[] ~goal (canonical_stage_names ~router)
+
+(* cx-basis cost of the whole circuit: the measure Size_preserving bounds
+   (gate *count* may grow — zsx re-emission expands 1q runs — but CX cost
+   must not) *)
+let cx_cost c =
+  List.fold_left
+    (fun acc (i : Qcircuit.Circuit.instr) -> acc + Qpasses.Blocks.gate_cx_cost i.gate)
+    0
+    (Qcircuit.Circuit.instrs c)
+
+let semantics_limit = 8
+
+let verify_prop ?coupling ~check_semantics ~stage ~before after = function
+  | Lowered_2q ->
+      List.map
+        (fun (d : Diagnostic.t) -> { d with loc = Some (Diagnostic.Stage stage) })
+        (Rules.lowered_2q after)
+  | Hardware_basis ->
+      List.map
+        (fun (d : Diagnostic.t) -> { d with loc = Some (Diagnostic.Stage stage) })
+        (Rules.hardware_basis after)
+  | Routed_for -> begin
+      match coupling with
+      | None -> []
+      | Some cm ->
+          List.map
+            (fun (d : Diagnostic.t) -> { d with loc = Some (Diagnostic.Stage stage) })
+            (Rules.check_map cm after)
+    end
+  | Size_preserving ->
+      let cb = cx_cost before and ca = cx_cost after in
+      if ca > cb then
+        [
+          Diagnostic.errorf ~loc:(Diagnostic.Stage stage) ~rule:"contract.ensures"
+            "stage %s raised the CX-basis cost from %d to %d (Size_preserving violated)"
+            stage cb ca;
+        ]
+      else []
+  | Semantics_preserved ->
+      if
+        check_semantics
+        && Qcircuit.Circuit.n_qubits before <= semantics_limit
+        && Qcircuit.Circuit.n_qubits before = Qcircuit.Circuit.n_qubits after
+      then
+        if Qsim.Equiv.unitary_equal before after then []
+        else
+          [
+            Diagnostic.errorf ~loc:(Diagnostic.Stage stage) ~rule:"contract.ensures"
+              "stage %s changed the circuit unitary (Semantics_preserved violated)" stage;
+          ]
+      else []
+
+let run_stages ?coupling ?(check_semantics = false) ?(initial = [ Lowered_2q ]) stages
+    circuit =
+  let diags = ref [] in
+  let emit ds = diags := !diags @ ds in
+  (* the input itself must satisfy the initial property set *)
+  emit
+    (List.concat_map
+       (verify_prop ?coupling ~check_semantics ~stage:"<input>" ~before:circuit circuit)
+       initial);
+  let final, _ =
+    List.fold_left
+      (fun (c, state) (name, f) ->
+        (match Contract.find name with
+        | None ->
+            emit
+              [
+                Diagnostic.errorf ~loc:(Diagnostic.Stage name)
+                  ~rule:"contract.unknown-pass" "unknown pass %S: no contract registered"
+                  name;
+              ]
+        | Some ct ->
+            List.iter
+              (fun p ->
+                if not (List.memq p state) then
+                  emit
+                    [
+                      Diagnostic.errorf ~loc:(Diagnostic.Stage name)
+                        ~rule:"contract.requires"
+                        "pass %s requires %s, which does not hold here" name (prop_name p);
+                    ])
+              ct.requires;
+            List.iter
+              (fun p ->
+                if List.memq p state then
+                  emit
+                    [
+                      Diagnostic.errorf ~loc:(Diagnostic.Stage name)
+                        ~rule:"contract.conflict"
+                        "pass %s must run before %s is established (illegal ordering)"
+                        name (prop_name p);
+                    ])
+              ct.conflicts);
+        let c' = f c in
+        let state' =
+          match Contract.find name with
+          | None -> state
+          | Some ct ->
+              let state = List.filter (fun p -> not (List.memq p ct.invalidates)) state in
+              List.fold_left
+                (fun s p -> if List.memq p s then s else p :: s)
+                state ct.ensures
+        in
+        emit
+          (List.concat_map
+             (verify_prop ?coupling ~check_semantics ~stage:name ~before:c c')
+             state');
+        (c', state'))
+      (circuit, initial) stages
+  in
+  (final, !diags)
+
+let check_result ~coupling (r : Qroute.Pipeline.result) =
+  let c = r.Qroute.Pipeline.circuit in
+  let base = Rules.check_circuit c ~props:[ Lowered_2q; Hardware_basis ] in
+  let routed =
+    match (r.Qroute.Pipeline.initial_layout, r.Qroute.Pipeline.final_layout) with
+    | None, None -> []
+    | il, fl ->
+        let layout_checks l =
+          match l with Some a -> Rules.layout coupling a | None -> []
+        in
+        layout_checks il @ layout_checks fl @ Rules.check_map coupling c
+  in
+  base @ routed
+
+let transpile ?params ?calibration ?trials ?workers ~router coupling circuit =
+  match Diagnostic.errors (validate_pipeline ~router) with
+  | _ :: _ as errs -> Error errs
+  | [] -> begin
+      match
+        Qroute.Pipeline.transpile ?params ?calibration ?trials ?workers ~router coupling
+          circuit
+      with
+      | r -> begin
+          match Diagnostic.errors (check_result ~coupling r) with
+          | [] -> Ok r
+          | errs -> Error errs
+        end
+      | exception Qroute.Engine.Routing_stuck { front; l2p } ->
+          Error
+            [
+              Diagnostic.errorf ~loc:(Diagnostic.Stage "route") ~rule:"route.stuck"
+                "router stuck: no swap candidates for front {%s} under mapping [%s]"
+                (String.concat "; "
+                   (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) front))
+                (String.concat " " (Array.to_list (Array.map string_of_int l2p)));
+            ]
+    end

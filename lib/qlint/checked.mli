@@ -1,0 +1,61 @@
+(** Checked execution: verify pass contracts while the pipeline runs.
+
+    The static validator ({!Contract.validate}) proves an ordering legal
+    before any gate is touched; this module adds the opt-in dynamic side —
+    after every stage, each property the contract dataflow says should hold
+    is re-verified on the actual circuit, and violations come back as
+    structured diagnostics naming the stage. *)
+
+val canonical_stage_names : router:Qroute.Pipeline.router -> string list
+(** The stage sequence {!Qroute.Pipeline.transpile} runs for a router
+    (delegates to {!Qroute.Pipeline.stage_names}). *)
+
+val validate_pipeline : router:Qroute.Pipeline.router -> Diagnostic.t list
+(** Statically validate the canonical pipeline for [router] against the
+    contract registry, with goal {!Contract.Hardware_basis} (plus
+    {!Contract.Routed_for} for routing flows).  Empty on the shipped
+    pipeline; a refactor that breaks Figure 5's ordering fails here. *)
+
+val run_stages :
+  ?coupling:Topology.Coupling.t ->
+  ?check_semantics:bool ->
+  ?initial:Contract.prop list ->
+  Qroute.Pipeline.stage list ->
+  Qcircuit.Circuit.t ->
+  Qcircuit.Circuit.t * Diagnostic.t list
+(** Run the stages, verifying between every pair of stages that all
+    properties in the symbolic contract state actually hold:
+    {!Contract.Lowered_2q} / {!Contract.Hardware_basis} structurally,
+    {!Contract.Routed_for} against [coupling] (skipped without one),
+    {!Contract.Size_preserving} as CX-cost non-increase across the stage,
+    and — when [check_semantics] is set and the circuit has at most 8
+    qubits — {!Contract.Semantics_preserved} by dense unitary comparison.
+    Requires/conflicts violations are reported too (the stage still runs).
+    [initial] (default [[Lowered_2q]]) must hold on the input and seeds the
+    symbolic state. *)
+
+val check_result :
+  coupling:Topology.Coupling.t ->
+  Qroute.Pipeline.result ->
+  Diagnostic.t list
+(** The full post-hoc rule set over a transpile result: structural rules,
+    {!Contract.Lowered_2q} and {!Contract.Hardware_basis} on the final
+    circuit, and — when the result carries layouts (i.e. it was routed) —
+    layout validity and CheckMap conformance of every two-qubit gate under
+    the device coupling map. *)
+
+val transpile :
+  ?params:Qroute.Engine.params ->
+  ?calibration:Topology.Calibration.t ->
+  ?trials:int ->
+  ?workers:int ->
+  router:Qroute.Pipeline.router ->
+  Topology.Coupling.t ->
+  Qcircuit.Circuit.t ->
+  (Qroute.Pipeline.result, Diagnostic.t list) result
+(** Guarded transpile: statically validate the pipeline first and refuse to
+    execute ([Error diags]) on an illegal ordering; otherwise run
+    {!Qroute.Pipeline.transpile} and verify the result with
+    {!check_result}, returning [Error] when any check fails.
+    {!Qroute.Engine.Routing_stuck} is caught and reported as a
+    [route.stuck] diagnostic instead of escaping. *)

@@ -1,0 +1,106 @@
+type prop =
+  | Lowered_2q
+  | Routed_for
+  | Hardware_basis
+  | Size_preserving
+  | Semantics_preserved
+
+let prop_name = function
+  | Lowered_2q -> "Lowered_2q"
+  | Routed_for -> "Routed_for"
+  | Hardware_basis -> "Hardware_basis"
+  | Size_preserving -> "Size_preserving"
+  | Semantics_preserved -> "Semantics_preserved"
+
+type t = {
+  cname : string;
+  requires : prop list;
+  ensures : prop list;
+  invalidates : prop list;
+  conflicts : prop list;
+}
+
+let c name ?(requires = []) ?(ensures = []) ?(invalidates = []) ?(conflicts = []) () =
+  { cname = name; requires; ensures; invalidates; conflicts }
+
+(* The registry.  Rationale for the non-obvious entries:
+   - [cancellation] and [unitary_synthesis] require [Lowered_2q]: commute
+     sets and 2q-block collection assume the {1q, 2q} shape the paper's
+     Figure 5 establishes before any optimization runs.
+   - [route] conflicts with [Hardware_basis]: emission is the final
+     lowering step, so routing an already-emitted circuit is an ordering
+     bug, not a semantics bug (the paper's pipeline routes first).
+   - [optimize_1q.u] invalidates [Hardware_basis] (it re-emits runs as [U]
+     gates); the [.zsx] variant stays inside {rz, sx, x}. *)
+let all =
+  [
+    c "lower_to_2q" ~ensures:[ Lowered_2q; Semantics_preserved ]
+      ~invalidates:[ Hardware_basis ] ();
+    c "peephole" ~ensures:[ Size_preserving; Semantics_preserved ] ();
+    c "optimize_1q.u"
+      ~ensures:[ Size_preserving; Semantics_preserved ]
+      ~invalidates:[ Hardware_basis ] ();
+    c "optimize_1q.zsx" ~ensures:[ Size_preserving; Semantics_preserved ] ();
+    c "cancellation" ~requires:[ Lowered_2q ]
+      ~ensures:[ Size_preserving; Semantics_preserved ]
+      ();
+    c "unitary_synthesis" ~requires:[ Lowered_2q ]
+      ~ensures:[ Size_preserving; Semantics_preserved ]
+      ();
+    c "route" ~requires:[ Lowered_2q ] ~ensures:[ Routed_for ]
+      ~invalidates:[ Size_preserving; Semantics_preserved ]
+      ~conflicts:[ Hardware_basis ] ();
+    c "basis" ~requires:[ Lowered_2q ]
+      ~ensures:[ Hardware_basis; Size_preserving; Semantics_preserved ]
+      ();
+  ]
+
+let find name = List.find_opt (fun ct -> ct.cname = name) all
+
+let mem p set = List.memq p set
+let add p set = if mem p set then set else p :: set
+let remove p set = List.filter (fun q -> q != p) set
+
+let validate ?(initial = []) ?(goal = []) names =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let state =
+    List.fold_left
+      (fun state name ->
+        match find name with
+        | None ->
+            emit
+              (Diagnostic.errorf ~loc:(Diagnostic.Stage name) ~rule:"contract.unknown-pass"
+                 "unknown pass %S: no contract registered" name);
+            state
+        | Some ct ->
+            List.iter
+              (fun p ->
+                if not (mem p state) then
+                  emit
+                    (Diagnostic.errorf ~loc:(Diagnostic.Stage name)
+                       ~rule:"contract.requires"
+                       "pass %s requires %s, which no earlier stage establishes" name
+                       (prop_name p)))
+              ct.requires;
+            List.iter
+              (fun p ->
+                if mem p state then
+                  emit
+                    (Diagnostic.errorf ~loc:(Diagnostic.Stage name)
+                       ~rule:"contract.conflict"
+                       "pass %s must run before %s is established (illegal ordering)" name
+                       (prop_name p)))
+              ct.conflicts;
+            let state = List.fold_left (fun s p -> remove p s) state ct.invalidates in
+            List.fold_left (fun s p -> add p s) state ct.ensures)
+      initial names
+  in
+  List.iter
+    (fun p ->
+      if not (mem p state) then
+        emit
+          (Diagnostic.errorf ~rule:"contract.goal"
+             "pipeline ends without establishing %s" (prop_name p)))
+    goal;
+  List.rev !diags

@@ -1,0 +1,47 @@
+(** Structured diagnostics for the static-analysis layer.
+
+    Every rule, contract check and audit reports violations as values of
+    {!t} instead of raising: a diagnostic names the rule that fired, a
+    severity, a human message and (when known) the program location —
+    an instruction id, a wire, a source line/column, or a pipeline stage.
+    The CLI renders them human-readably or as JSON lines; the exit code is
+    derived from {!has_errors}. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Instr of int  (** instruction index / DAG node id in the circuit *)
+  | Wire of int  (** qubit wire *)
+  | Source of { line : int; col : int }  (** source text position (QASM) *)
+  | Stage of string  (** pipeline stage / pass name *)
+
+type t = {
+  rule : string;  (** stable rule id, e.g. ["route.check-map"] *)
+  severity : severity;
+  message : string;
+  loc : location option;
+}
+
+val error : ?loc:location -> rule:string -> string -> t
+val warning : ?loc:location -> rule:string -> string -> t
+val info : ?loc:location -> rule:string -> string -> t
+
+val errorf :
+  ?loc:location -> rule:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+(** [errorf ~rule fmt ...] builds an [Error] diagnostic with a formatted
+    message. *)
+
+val severity_name : severity -> string
+val is_error : t -> bool
+val has_errors : t list -> bool
+val errors : t list -> t list
+
+val pp : Format.formatter -> t -> unit
+(** ["error[route.check-map]: cx on uncoupled pair (2, 7) (instr 12)"]. *)
+
+val to_json : t -> string
+(** One-line JSON object ([{"kind":"diagnostic","severity":...,"rule":...,
+    "message":...,"line":...,...}]); suitable for JSONL export. *)
+
+val pp_summary : Format.formatter -> checks:int -> t list -> unit
+(** One-line summary: checks run, diagnostics by severity. *)

@@ -1,0 +1,202 @@
+open Qgate
+
+let c_checks = Qobs.counter "qlint.checks"
+let checks_total = Atomic.make 0
+
+let count_check () =
+  Qobs.incr c_checks;
+  Atomic.incr checks_total
+
+let checks_run () = Atomic.get checks_total
+
+let structural ~n instrs =
+  count_check ();
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  List.iteri
+    (fun id (i : Qcircuit.Circuit.instr) ->
+      let arity = Gate.arity i.gate in
+      let k = List.length i.qubits in
+      if k <> arity then
+        emit
+          (Diagnostic.errorf ~loc:(Diagnostic.Instr id) ~rule:"gate.arity"
+             "gate %s expects %d qubits, got %d" (Gate.name i.gate) arity k);
+      List.iter
+        (fun q ->
+          if q < 0 || q >= n then
+            emit
+              (Diagnostic.errorf ~loc:(Diagnostic.Instr id) ~rule:"qubit.bounds"
+                 "qubit index %d out of range for a %d-qubit circuit" q n))
+        i.qubits;
+      if List.length (List.sort_uniq compare i.qubits) <> k then
+        emit
+          (Diagnostic.errorf ~loc:(Diagnostic.Instr id) ~rule:"gate.repeated-qubit"
+             "gate %s repeats a qubit operand (%s)" (Gate.name i.gate)
+             (String.concat "," (List.map string_of_int i.qubits))))
+    instrs;
+  List.rev !diags
+
+let dag_consistency c =
+  count_check ();
+  let dag = Qcircuit.Dag.of_circuit c in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let n = Qcircuit.Dag.n_nodes dag in
+  Array.iter
+    (fun (nd : Qcircuit.Dag.node) ->
+      List.iter
+        (fun (q, p) ->
+          if p < 0 || p >= n then
+            emit
+              (Diagnostic.errorf ~loc:(Diagnostic.Instr nd.id) ~rule:"wire.consistency"
+                 "predecessor id %d on wire %d out of range" p q)
+          else begin
+            (* a dependency must point backwards in instruction order: node
+               ids are source positions, so this is exactly acyclicity *)
+            if p >= nd.id then
+              emit
+                (Diagnostic.errorf ~loc:(Diagnostic.Instr nd.id) ~rule:"dag.acyclic"
+                   "dependency on node %d does not precede node %d (cycle)" p nd.id);
+            let back = (Qcircuit.Dag.node dag p).succs in
+            if not (List.exists (fun (q', s) -> q' = q && s = nd.id) back) then
+              emit
+                (Diagnostic.errorf ~loc:(Diagnostic.Instr nd.id) ~rule:"wire.consistency"
+                   "edge from node %d on wire %d has no successor mirror" p q)
+          end)
+        nd.preds;
+      List.iter
+        (fun (q, s) ->
+          if s < 0 || s >= n then
+            emit
+              (Diagnostic.errorf ~loc:(Diagnostic.Instr nd.id) ~rule:"wire.consistency"
+                 "successor id %d on wire %d out of range" s q)
+          else if
+            not
+              (List.exists (fun (q', p) -> q' = q && p = nd.id) (Qcircuit.Dag.node dag s).preds)
+          then
+            emit
+              (Diagnostic.errorf ~loc:(Diagnostic.Instr nd.id) ~rule:"wire.consistency"
+                 "edge to node %d on wire %d has no predecessor mirror" s q))
+        nd.succs)
+    (Qcircuit.Dag.nodes dag);
+  List.rev !diags
+
+let lowered_2q c =
+  count_check ();
+  List.concat
+    (List.mapi
+       (fun id (i : Qcircuit.Circuit.instr) ->
+         if Gate.arity i.gate > 2 && not (Gate.is_directive i.gate) then
+           [
+             Diagnostic.errorf ~loc:(Diagnostic.Instr id) ~rule:"basis.two-qubit"
+               "gate %s acts on %d qubits; expected at most 2 after lowering"
+               (Gate.name i.gate) (Gate.arity i.gate);
+           ]
+         else [])
+       (Qcircuit.Circuit.instrs c))
+
+let hardware_basis c =
+  count_check ();
+  List.concat
+    (List.mapi
+       (fun id (i : Qcircuit.Circuit.instr) ->
+         if Gate.in_basis i.gate then []
+         else
+           [
+             Diagnostic.errorf ~loc:(Diagnostic.Instr id) ~rule:"basis.hardware"
+               "gate %s is outside the hardware basis {rz, sx, x, cx}"
+               (Gate.name i.gate);
+           ])
+       (Qcircuit.Circuit.instrs c))
+
+let check_map coupling c =
+  count_check ();
+  let n_phys = Topology.Coupling.n_qubits coupling in
+  let n = Qcircuit.Circuit.n_qubits c in
+  let head =
+    if n > n_phys then
+      [
+        Diagnostic.errorf ~rule:"route.check-map"
+          "circuit has %d qubits but the device only %d" n n_phys;
+      ]
+    else []
+  in
+  head
+  @ List.concat
+      (List.mapi
+         (fun id (i : Qcircuit.Circuit.instr) ->
+           match i.qubits with
+           | [ a; b ]
+             when Gate.is_two_qubit i.gate
+                  && a >= 0 && a < n_phys && b >= 0 && b < n_phys
+                  && not (Topology.Coupling.connected coupling a b) ->
+               [
+                 Diagnostic.errorf ~loc:(Diagnostic.Instr id) ~rule:"route.check-map"
+                   "%s on uncoupled physical pair (%d, %d)" (Gate.name i.gate) a b;
+               ]
+           | _ -> [])
+         (Qcircuit.Circuit.instrs c))
+
+let layout coupling l2p =
+  count_check ();
+  let n_phys = Topology.Coupling.n_qubits coupling in
+  let seen = Hashtbl.create 16 in
+  let diags = ref [] in
+  Array.iteri
+    (fun l p ->
+      if p < 0 || p >= n_phys then
+        diags :=
+          Diagnostic.errorf ~loc:(Diagnostic.Wire l) ~rule:"route.layout"
+            "logical qubit %d mapped to physical %d, outside the %d-qubit device" l p
+            n_phys
+          :: !diags
+      else begin
+        (match Hashtbl.find_opt seen p with
+        | Some l' ->
+            diags :=
+              Diagnostic.errorf ~loc:(Diagnostic.Wire l) ~rule:"route.layout"
+                "physical qubit %d assigned to both logical %d and %d" p l' l
+              :: !diags
+        | None -> ());
+        Hashtbl.replace seen p l
+      end)
+    l2p;
+  List.rev !diags
+
+let check_circuit ?coupling ?(props = []) c =
+  let base =
+    structural ~n:(Qcircuit.Circuit.n_qubits c) (Qcircuit.Circuit.instrs c)
+    @ dag_consistency c
+  in
+  let for_prop (p : Contract.prop) =
+    match p with
+    | Contract.Lowered_2q -> lowered_2q c
+    | Contract.Hardware_basis -> hardware_basis c
+    | Contract.Routed_for -> begin
+        match coupling with
+        | Some cm -> check_map cm c
+        | None ->
+            [
+              Diagnostic.warning ~rule:"route.check-map"
+                "Routed_for requested but no coupling map given; skipped";
+            ]
+      end
+    | Contract.Size_preserving | Contract.Semantics_preserved ->
+        (* relational properties: checked between stages, not on one circuit *)
+        []
+  in
+  base @ List.concat_map for_prop props
+
+let lint_qasm ?path src =
+  count_check ();
+  match Qcircuit.Qasm_parser.parse_result src with
+  | Ok c -> Ok c
+  | Error { Qcircuit.Qasm_parser.line; col; msg } ->
+      let msg = match path with None -> msg | Some p -> Printf.sprintf "%s: %s" p msg in
+      Error
+        (Diagnostic.error ~loc:(Diagnostic.Source { line; col }) ~rule:"qasm.parse" msg)
+
+let lint_qasm_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | src -> lint_qasm ~path src
+  | exception Sys_error msg -> Error (Diagnostic.error ~rule:"qasm.parse" msg)

@@ -76,6 +76,38 @@ let test_errors () =
   check "bad angle" true (raises "qreg q[1];\nrz(pi**2) q[0];\n");
   check "wrong params" true (raises "qreg q[1];\nrz(1,2) q[0];\n")
 
+let test_error_positions () =
+  (* structured errors carry the 1-based line and the column of the
+     offending statement *)
+  let err s =
+    match Qasm_parser.parse_result s with
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+    | Error e -> e
+  in
+  let e = err "qreg q[2];\nfoo q[0];\n" in
+  checki "unknown gate line" 2 e.line;
+  checki "unknown gate col" 1 e.col;
+  check "unknown gate msg" true
+    (String.length e.msg > 0 && e.msg = "unsupported gate foo");
+  let e = err "qreg q[2];\nh q[0]; cx q[0],q[5];\n" in
+  checki "mid-line line" 2 e.line;
+  checki "mid-line col" 9 e.col;
+  check "out-of-range msg" true (e.msg = "qubit index 5 out of range for q[2]");
+  let e = err "qreg q[2];\ncx q[1],q[1];\n" in
+  checki "repeated line" 2 e.line;
+  let e = err "qreg q[2];\ncx q[0];\n" in
+  checki "arity line" 2 e.line;
+  let e = err "x q[0];\n" in
+  check "gate before qreg msg" true (e.msg = "gate before qreg");
+  let e = err "OPENQASM 2.0;\ncreg c[2];\n" in
+  check "no qreg msg" true (e.msg = "no qreg declaration found");
+  (* Parse_error carries the rendered position *)
+  (try
+     ignore (parse "qreg q[2];\nfoo q[0];\n");
+     Alcotest.fail "should raise"
+   with Qasm_parser.Parse_error m ->
+     check "rendered position" true (m = "line 2, col 1: unsupported gate foo"))
+
 let test_roundtrip_with_emitter () =
   (* Qasm.to_string output must parse back to a circuit with the same
      unitary *)
@@ -171,7 +203,8 @@ let test_error_fixtures () =
   in
   rejects "bad_qreg.qasm";
   rejects "unknown_gate.qasm";
-  rejects "malformed_args.qasm"
+  rejects "malformed_args.qasm";
+  rejects "out_of_range.qasm"
 
 let test_parse_then_transpile () =
   (* external QASM input flows through the whole stack *)
@@ -199,6 +232,7 @@ let () =
           Alcotest.test_case "multi-qubit + measure" `Quick test_multi_qubit_and_measure;
           Alcotest.test_case "comments" `Quick test_comments_and_whitespace;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
           Alcotest.test_case "emitter roundtrip" `Quick test_roundtrip_with_emitter;
           Alcotest.test_case "parse then transpile" `Quick test_parse_then_transpile;
           Alcotest.test_case "error fixtures" `Quick test_error_fixtures;

@@ -21,10 +21,17 @@ let test_create_validates () =
   let repeated () = ignore (Circuit.create 2 [ { gate = Gate.CX; qubits = [ 1; 1 ] } ]) in
   Alcotest.check_raises "arity" (Invalid_argument "Circuit: gate cx expects 2 qubits, got 1")
     bad_arity;
-  Alcotest.check_raises "range" (Invalid_argument "Circuit: qubit index out of range")
+  Alcotest.check_raises "range"
+    (Invalid_argument "Circuit: qubit index 5 out of range for 2-qubit circuit")
     out_of_range;
-  Alcotest.check_raises "repeat" (Invalid_argument "Circuit: repeated qubit in instruction")
-    repeated
+  Alcotest.check_raises "repeat" (Invalid_argument "Circuit: repeated qubit in cx 1,1")
+    repeated;
+  Alcotest.check_raises "concat"
+    (Invalid_argument "Circuit.concat: qubit-count mismatch (2 vs 3)") (fun () ->
+      ignore (Circuit.concat (bell ()) (Circuit.create 3 [])));
+  Alcotest.check_raises "remap"
+    (Invalid_argument "Circuit.remap: permutation size 3 does not match 2 qubits")
+    (fun () -> ignore (Circuit.remap (bell ()) [| 0; 1; 2 |]))
 
 let test_metrics () =
   let c = ghz 4 in
