@@ -1,4 +1,4 @@
-.PHONY: all build test coverage fmt lint bench profile ci clean
+.PHONY: all build test coverage fmt lint bench profile regress ci clean
 
 all: build
 
@@ -37,6 +37,11 @@ bench:
 # per-pass span/counter breakdown from the observability layer
 profile:
 	dune exec bench/main.exe -- --only profile
+
+# benchmark regression gate: runs the quick suite, writes BENCH_<sha>.json
+# and compares against bench/baselines/regress-quick.json (exit 1 on breach)
+regress:
+	dune exec bench/main.exe -- --regress --quick
 
 ci: build test fmt lint
 

@@ -4,12 +4,21 @@
 let usage () =
   print_endline
     "usage: bench/main.exe [--only EXP] [--seeds N] [--shots N] [--full] [--timing]\n\
+     \       bench/main.exe --regress [--quick] [--baseline FILE] [--out FILE]\n\
+     \                      [--max-cx-regress PCT] [--max-depth-regress PCT]\n\
      EXP: table1 table2 table3 table4 fig9 fig11a fig11b routers trials scaling\n\
-     \     profile ablate-decomp ablate-lookahead all\n\
+     \     profile timing ablate-decomp ablate-lookahead all\n\
      --seeds N   routing seeds per benchmark (default 5; heavy circuits capped at 3)\n\
      --shots N   Monte-Carlo shots for fig11b (default 2048; paper used 8192)\n\
      --full      run heavy (RevLib-scale) benchmarks everywhere (default: tables only)\n\
-     --timing    run the Bechamel transpilation-latency micro-benchmarks"
+     --timing    run the transpilation-latency micro-benchmarks (= --only timing)\n\
+     --regress   run the regression suite, write BENCH_<git-sha>.json, compare\n\
+     \            against the checked-in baseline and exit non-zero on regression\n\
+     --quick     with --regress: the six-circuit CI subset\n\
+     --baseline FILE        baseline snapshot (default bench/baselines/regress-<suite>.json)\n\
+     --out FILE             where to write the snapshot (default BENCH_<git-sha>.json)\n\
+     --max-cx-regress PCT   allowed cx_total growth in percent (default 2.0)\n\
+     --max-depth-regress PCT allowed depth growth in percent (default 5.0)"
 
 let () =
   let only = ref "all" in
@@ -17,6 +26,12 @@ let () =
   let shots = ref 2048 in
   let full = ref false in
   let timing = ref false in
+  let regress = ref false in
+  let quick = ref false in
+  let baseline = ref None in
+  let out = ref None in
+  let max_cx = ref 2.0 in
+  let max_depth = ref 5.0 in
   let rec parse = function
     | [] -> ()
     | "--only" :: v :: rest ->
@@ -34,6 +49,24 @@ let () =
     | "--timing" :: rest ->
         timing := true;
         parse rest
+    | "--regress" :: rest ->
+        regress := true;
+        parse rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--baseline" :: v :: rest ->
+        baseline := Some v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := Some v;
+        parse rest
+    | "--max-cx-regress" :: v :: rest ->
+        max_cx := float_of_string v;
+        parse rest
+    | "--max-depth-regress" :: v :: rest ->
+        max_depth := float_of_string v;
+        parse rest
     | ("--help" | "-h") :: _ ->
         usage ();
         exit 0
@@ -43,7 +76,11 @@ let () =
         exit 1
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !timing then Timing.run ()
+  if !regress then
+    exit
+      (Regress.run ~quick:!quick ~baseline:!baseline ~out:!out ~max_cx:!max_cx
+         ~max_depth:!max_depth ~seed:11 ~trials:1 ())
+  else if !timing || !only = "timing" then Timing.run ()
   else begin
     let seeds = !seeds in
     let quick_tables = false in

@@ -1,7 +1,8 @@
 (* Observability-driven profile: where transpile time goes, per pass and per
-   router, plus the counter totals (candidates scored, cache traffic,
-   realized vs predicted CNOT savings).  This is the breakdown future
-   performance PRs should quote before/after numbers from. *)
+   router — including p50/p90/p99 per-call latency from the shared Qobs.Hist
+   percentile path — plus the counter totals (candidates scored, cache
+   traffic, realized vs predicted CNOT savings).  This is the breakdown
+   future performance PRs should quote before/after numbers from. *)
 
 let routers =
   [

@@ -1,0 +1,231 @@
+(* Benchmark regression harness: run the fig9/tables circuits, write a
+   schema-versioned BENCH_<git-sha>.json snapshot (per-circuit CNOT counts,
+   depth, wall/cpu time, flight-recorder summary stats), and compare it
+   against a checked-in baseline with configurable thresholds.  `bench
+   --regress` exits non-zero on any breach, which is what the CI
+   bench-regress job keys off. *)
+
+let schema_version = 1
+let kind = "nassc-bench-regress"
+
+let routers =
+  [
+    ("sabre", Qroute.Pipeline.Sabre_router);
+    ("nassc", Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config);
+  ]
+
+let git_short_sha () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "local"
+  with _ -> "local"
+
+type row = {
+  name : string;
+  router : string;
+  n_qubits : int;
+  cx_total : int;
+  depth : int;
+  n_swaps : int;
+  wall_s : float;
+  cpu_s : float;
+  rec_totals : Qobs.Recorder.totals;
+}
+
+let run_suite ~quick ~seed ~trials =
+  let coupling = Topology.Devices.montreal in
+  let params = { Qroute.Engine.default_params with seed } in
+  let entries = Qbench.Suite.regress_suite ~quick in
+  List.concat_map
+    (fun (e : Qbench.Suite.entry) ->
+      let circuit = e.build () in
+      List.map
+        (fun (rname, router) ->
+          Printf.printf "  %-22s %-6s ...%!" e.name rname;
+          let rec_root = Qobs.Recorder.create ~label:"regress" () in
+          let r =
+            Qobs.Recorder.with_recorder rec_root (fun () ->
+                Qroute.Pipeline.transpile ~params ~trials ~router coupling circuit)
+          in
+          Printf.printf " cx=%d depth=%d swaps=%d (%.2fs)\n%!" r.cx_total r.depth
+            r.n_swaps r.transpile_time;
+          {
+            name = e.name;
+            router = rname;
+            n_qubits = e.n_qubits;
+            cx_total = r.cx_total;
+            depth = r.depth;
+            n_swaps = r.n_swaps;
+            wall_s = r.transpile_time;
+            cpu_s = r.cpu_time;
+            rec_totals = Qobs.Recorder.totals rec_root;
+          })
+        routers)
+    entries
+
+(* ---- snapshot writer (hand-rolled; keys in fixed order) ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let snapshot ~suite ~seed ~trials rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\n  \"schema_version\": %d,\n  \"kind\": \"%s\",\n  \"git_sha\": \"%s\",\n\
+       \  \"suite\": \"%s\",\n  \"seed\": %d,\n  \"trials\": %d,\n\
+       \  \"topology\": \"montreal\",\n  \"circuits\": [\n"
+       schema_version kind (json_escape (git_short_sha ())) suite seed trials);
+  List.iteri
+    (fun i r ->
+      let t = r.rec_totals in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"router\": \"%s\", \"n_qubits\": %d, \"cx_total\": \
+            %d, \"depth\": %d, \"n_swaps\": %d, \"wall_s\": %.4f, \"cpu_s\": %.4f, \
+            \"recorder\": {\"steps\": %d, \"candidates\": %d, \"forced\": %d, \
+            \"predicted_savings\": %.1f, \"realized_savings\": %d, \"chosen_c2q\": %d, \
+            \"chosen_commute1\": %d, \"chosen_commute2\": %d}}%s\n"
+           (json_escape r.name) r.router r.n_qubits r.cx_total r.depth r.n_swaps r.wall_s
+           r.cpu_s t.Qobs.Recorder.steps t.candidates t.forced t.predicted t.realized
+           t.chosen_c2q t.chosen_commute1 t.chosen_commute2
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+(* ---- baseline comparison ---- *)
+
+type breach = { what : string; base : int; cur : int; pct : float; limit : float }
+
+let pct_delta base cur =
+  if base = 0 then if cur = 0 then 0.0 else infinity
+  else 100.0 *. float_of_int (cur - base) /. float_of_int base
+
+let compare_baseline ~max_cx ~max_depth ~rows json =
+  let open Qbench.Jsonlite in
+  let fail m =
+    Printf.eprintf "regress: bad baseline: %s\n" m;
+    exit 2
+  in
+  let ver =
+    match Option.bind (member "schema_version" json) to_int with
+    | Some v -> v
+    | None -> fail "missing schema_version"
+  in
+  if ver <> schema_version then
+    fail
+      (Printf.sprintf
+         "schema_version %d does not match harness version %d; regenerate the baseline \
+          with `bench --regress --out <baseline>`"
+         ver schema_version);
+  let base_rows =
+    match Option.bind (member "circuits" json) to_list with
+    | Some l -> l
+    | None -> fail "missing circuits array"
+  in
+  let lookup name router =
+    List.find_opt
+      (fun c ->
+        Option.bind (member "name" c) to_string = Some name
+        && Option.bind (member "router" c) to_string = Some router)
+      base_rows
+  in
+  let breaches = ref [] in
+  let missing = ref 0 in
+  List.iter
+    (fun r ->
+      match lookup r.name r.router with
+      | None ->
+          incr missing;
+          Printf.printf "  %-22s %-6s new (no baseline entry)\n" r.name r.router
+      | Some c ->
+          let metric what limit base cur =
+            let pct = pct_delta base cur in
+            let mark =
+              if pct > limit then begin
+                breaches := { what; base; cur; pct; limit } :: !breaches;
+                "REGRESSION"
+              end
+              else if pct < 0.0 then "improved"
+              else "ok"
+            in
+            Printf.printf "  %-22s %-6s %-6s %6d -> %6d (%+.1f%%, limit +%.1f%%) %s\n"
+              r.name r.router what base cur pct limit mark
+          in
+          let base_of key =
+            match Option.bind (member key c) to_int with
+            | Some v -> v
+            | None -> fail (Printf.sprintf "baseline row missing %s" key)
+          in
+          metric "cx" max_cx (base_of "cx_total") r.cx_total;
+          metric "depth" max_depth (base_of "depth") r.depth)
+    rows;
+  (List.rev !breaches, !missing)
+
+let run ~quick ~baseline ~out ~max_cx ~max_depth ~seed ~trials () =
+  let suite = if quick then "quick" else "full" in
+  Printf.printf "=== bench --regress (%s suite, montreal, seed %d, trials %d) ===\n%!"
+    suite seed trials;
+  let rows = run_suite ~quick ~seed ~trials in
+  let out_file =
+    match out with Some f -> f | None -> Printf.sprintf "BENCH_%s.json" (git_short_sha ())
+  in
+  let oc = open_out out_file in
+  output_string oc (snapshot ~suite ~seed ~trials rows);
+  close_out oc;
+  Printf.printf "snapshot: %s\n" out_file;
+  let baseline_file =
+    match baseline with
+    | Some f -> Some f
+    | None ->
+        let default = Printf.sprintf "bench/baselines/regress-%s.json" suite in
+        if Sys.file_exists default then Some default else None
+  in
+  match baseline_file with
+  | None ->
+      Printf.printf
+        "no baseline found (bench/baselines/regress-%s.json); copy the snapshot there to \
+         seed one\n"
+        suite;
+      0
+  | Some file ->
+      if not (Sys.file_exists file) then begin
+        Printf.eprintf "regress: baseline %s does not exist\n" file;
+        2
+      end
+      else begin
+        Printf.printf "baseline: %s\n" file;
+        let json =
+          let ic = open_in_bin file in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          try Qbench.Jsonlite.of_string s
+          with Qbench.Jsonlite.Parse_error m ->
+            Printf.eprintf "regress: cannot parse %s: %s\n" file m;
+            exit 2
+        in
+        let breaches, _missing = compare_baseline ~max_cx ~max_depth ~rows json in
+        if breaches = [] then begin
+          Printf.printf "regress: OK (%d rows within thresholds: cx +%.1f%%, depth +%.1f%%)\n"
+            (List.length rows) max_cx max_depth;
+          0
+        end
+        else begin
+          Printf.printf "regress: FAILED (%d metric(s) over threshold)\n"
+            (List.length breaches);
+          1
+        end
+      end

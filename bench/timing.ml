@@ -1,48 +1,47 @@
-(* Bechamel micro-benchmarks: transpilation latency per table workload.
-   One Test.make per table; run with --timing. *)
-
-open Bechamel
-open Toolkit
+(* Transpilation-latency micro-benchmarks, reported through the same
+   Qobs.Hist log-bucketed histogram / percentile path the profile summary
+   and the flight recorder use: warm up, sample repeated transpiles, print
+   mean / p50 / p90 / p99 wall latency per workload.  Run with --timing or
+   --only timing. *)
 
 let transpile router coupling circuit () =
   ignore (Qroute.Pipeline.transpile ~router coupling circuit)
 
-let test_for_table ~name ~coupling =
+let workloads =
   let circuit = Qbench.Generators.grover 6 in
-  Test.make_grouped ~name
+  List.concat_map
+    (fun (tname, coupling) ->
+      [
+        (tname ^ "/sabre", transpile Qroute.Pipeline.Sabre_router coupling circuit);
+        ( tname ^ "/nassc",
+          transpile
+            (Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config)
+            coupling circuit );
+      ])
     [
-      Test.make ~name:"sabre"
-        (Staged.stage (transpile Qroute.Pipeline.Sabre_router coupling circuit));
-      Test.make ~name:"nassc"
-        (Staged.stage
-           (transpile
-              (Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config)
-              coupling circuit));
+      ("table1-montreal", Topology.Devices.montreal);
+      ("table3-linear", Topology.Devices.linear 25);
+      ("table4-grid", Topology.Devices.grid 5 5);
     ]
 
-let tests =
-  Test.make_grouped ~name:"transpile"
-    [
-      test_for_table ~name:"table1-montreal" ~coupling:Topology.Devices.montreal;
-      test_for_table ~name:"table3-linear" ~coupling:(Topology.Devices.linear 25);
-      test_for_table ~name:"table4-grid" ~coupling:(Topology.Devices.grid 5 5);
-    ]
-
-let run () =
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~kde:(Some 100) () in
-  let raw = Benchmark.all cfg instances tests in
-  let results =
-    List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instance raw) instances
-  in
-  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instances results in
-  Hashtbl.iter
-    (fun name tbl ->
-      Hashtbl.iter
-        (fun test result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] ->
-              Printf.printf "%-40s %-16s %12.3f ms/run\n" test name (est /. 1e6)
-          | _ -> ())
-        tbl)
-    results
+let run ?(warmup = 2) ?(samples = 15) () =
+  Printf.printf "%-28s %6s %10s %10s %10s %10s\n" "workload" "n" "mean(ms)" "p50(ms)"
+    "p90(ms)" "p99(ms)";
+  List.iter
+    (fun (name, f) ->
+      for _ = 1 to warmup do
+        f ()
+      done;
+      let h = Qobs.Hist.create () in
+      for _ = 1 to samples do
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Qobs.Hist.observe h (Unix.gettimeofday () -. t0)
+      done;
+      let ms v = v *. 1e3 in
+      Printf.printf "%-28s %6d %10.3f %10.3f %10.3f %10.3f\n%!" name
+        (Qobs.Hist.count h) (ms (Qobs.Hist.mean h))
+        (ms (Qobs.Hist.percentile h 50.0))
+        (ms (Qobs.Hist.percentile h 90.0))
+        (ms (Qobs.Hist.percentile h 99.0)))
+    workloads

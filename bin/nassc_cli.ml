@@ -58,23 +58,74 @@ let trace_times_arg =
   let doc = "Include wall/CPU milliseconds on span lines (nondeterministic)." in
   Arg.(value & flag & info [ "trace-times" ] ~doc)
 
-(* run [f] under a collector when tracing was requested and export the trace *)
-let with_trace trace times f =
-  match trace with
-  | None -> f ()
-  | Some dest ->
-      let root = Qobs.Collector.create ~label:"main" () in
-      let result = Qobs.with_collector root f in
-      let tr = Qobs.Trace.of_root root in
-      let jsonl = Qobs.Trace.to_jsonl ~times tr in
-      (match dest with
-      | "-" -> output_string stderr jsonl
-      | file ->
-          let oc = open_out file in
-          output_string oc jsonl;
-          close_out oc;
-          Qobs.Trace.pp_summary Format.err_formatter tr);
-      result
+let record_arg =
+  let doc =
+    "Enable the routing flight recorder and write the decision trail (front-layer size, \
+     every candidate SWAP with its heuristic components and savings bucket, the chosen \
+     SWAP, per-trial realized CNOT savings) to $(docv) ('-' = stderr)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "record.jsonl") (some string) None
+    & info [ "record" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Export format for --trace and --record: $(b,jsonl) (deterministic JSON lines) or \
+     $(b,chrome) (Chrome trace_event JSON, loadable in Perfetto or about://tracing; \
+     wall-clock timestamps, so nondeterministic)."
+  in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+    & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
+let write_dest dest s =
+  match dest with
+  | "-" -> output_string stderr s
+  | file ->
+      let oc = open_out file in
+      output_string oc s;
+      close_out oc
+
+(* run [f] under a collector and/or flight recorder as requested and export
+   afterwards; `--trace FILE` with the default jsonl format behaves exactly
+   as it did before the recorder existed *)
+let with_obs ~trace ~times ~record ~fmt f =
+  let collector =
+    match trace with None -> None | Some _ -> Some (Qobs.Collector.create ~label:"main" ())
+  in
+  let recorder =
+    match record with
+    | None -> None
+    | Some _ -> Some (Qobs.Recorder.create ~label:"main" ())
+  in
+  let under_recorder g =
+    match recorder with None -> g () | Some r -> Qobs.Recorder.with_recorder r g
+  in
+  let result =
+    match collector with
+    | None -> under_recorder f
+    | Some c -> Qobs.with_collector c (fun () -> under_recorder f)
+  in
+  (match (trace, collector) with
+  | Some dest, Some c -> begin
+      let tr = Qobs.Trace.of_root c in
+      match fmt with
+      | `Jsonl ->
+          write_dest dest (Qobs.Trace.to_jsonl ~times tr);
+          if dest <> "-" then Qobs.Trace.pp_summary Format.err_formatter tr
+      | `Chrome -> write_dest dest (Qobs.Trace.to_chrome tr)
+    end
+  | _ -> ());
+  (match (record, recorder) with
+  | Some dest, Some r ->
+      write_dest dest
+        (match fmt with
+        | `Jsonl -> Qobs.Recorder.to_jsonl r
+        | `Chrome -> Qobs.Recorder.to_chrome r)
+  | _ -> ());
+  result
 
 let router_of_string cal = function
   | "sabre" -> Ok Qroute.Pipeline.Sabre_router
@@ -118,7 +169,7 @@ let print_trial_stats (r : Qroute.Pipeline.result) =
   end
 
 let transpile_cmd benchmark topology size router seed trials workers qasm lint trace
-    trace_times =
+    trace_times record fmt =
   match
     Result.bind (check_pool_args trials workers) (fun () ->
         try Ok (Qbench.Suite.find benchmark)
@@ -143,7 +194,7 @@ let transpile_cmd benchmark topology size router seed trials workers qasm lint t
           let circuit = entry.build () in
           let params = { Qroute.Engine.default_params with seed } in
           match
-            with_trace trace trace_times (fun () ->
+            with_obs ~trace ~times:trace_times ~record ~fmt (fun () ->
                 Qroute.Pipeline.transpile ~params ~calibration:cal ~trials ?workers ~router
                   coupling circuit)
           with
@@ -177,7 +228,7 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
 let transpile_file_cmd path topology size router seed trials workers qasm lint trace
-    trace_times =
+    trace_times record fmt =
   match
     Result.bind (check_pool_args trials workers) (fun () ->
         try Ok (Qcircuit.Qasm_parser.parse_file path) with
@@ -202,7 +253,7 @@ let transpile_file_cmd path topology size router seed trials workers qasm lint t
       | Ok router -> begin
           let params = { Qroute.Engine.default_params with seed } in
           match
-            with_trace trace trace_times (fun () ->
+            with_obs ~trace ~times:trace_times ~record ~fmt (fun () ->
                 Qroute.Pipeline.transpile ~params ~calibration:cal ~trials ?workers ~router
                   coupling circuit)
           with
@@ -343,7 +394,8 @@ let list_cmd () =
 let transpile_t =
   Term.(
     const transpile_cmd $ benchmark_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
-    $ trials_arg $ workers_arg $ qasm_arg $ lint_arg $ trace_arg $ trace_times_arg)
+    $ trials_arg $ workers_arg $ qasm_arg $ lint_arg $ trace_arg $ trace_times_arg
+    $ record_arg $ trace_format_arg)
 
 let cmd_transpile =
   Cmd.v (Cmd.info "transpile" ~doc:"Transpile a benchmark and report metrics") transpile_t
@@ -353,7 +405,8 @@ let cmd_list = Cmd.v (Cmd.info "list" ~doc:"List available benchmarks") Term.(co
 let transpile_file_t =
   Term.(
     const transpile_file_cmd $ file_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
-    $ trials_arg $ workers_arg $ qasm_arg $ lint_arg $ trace_arg $ trace_times_arg)
+    $ trials_arg $ workers_arg $ qasm_arg $ lint_arg $ trace_arg $ trace_times_arg
+    $ record_arg $ trace_format_arg)
 
 let cmd_transpile_file =
   Cmd.v

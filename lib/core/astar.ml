@@ -37,6 +37,7 @@ let encode_mapping l2p =
 
 let route ?(params = default_params) coupling circuit =
   Qobs.span "astar.route" @@ fun () ->
+  Qobs.Recorder.in_router "astar" @@ fun () ->
   let n_phys = Coupling.n_qubits coupling in
   let n_log = Qcircuit.Circuit.n_qubits circuit in
   if n_log > n_phys then invalid_arg "Astar.route: circuit larger than device";
@@ -152,6 +153,28 @@ let route ?(params = default_params) coupling circuit =
           layer
       in
       let swaps = solve_layer pairs in
+      if Qobs.Recorder.active () && swaps <> [] then begin
+        (* Replay the solved swap sequence on a scratch mapping to record
+           each decision with the candidate set it was chosen from (both the
+           A* successors and the greedy-fallback path steps are members of
+           [candidate_swaps] of the preceding state). *)
+        let sim = Array.copy l2p in
+        List.iter
+          (fun sw ->
+            let cands =
+              List.map
+                (fun (a, b) ->
+                  let l2p' = Array.copy sim in
+                  apply_swap_arr l2p' (a, b);
+                  let h = float_of_int (heuristic l2p' pairs) in
+                  { Qobs.Recorder.p1 = a; p2 = b; h_basic = h; h_lookahead = 0.0; h; bonus = 0.0 })
+                (candidate_swaps sim pairs)
+            in
+            Qobs.Recorder.record_step ~front:(List.length pairs) ~candidates:cands
+              ~chosen:sw ~chosen_bonus:0.0 ();
+            apply_swap_arr sim sw)
+          swaps
+      end;
       List.iter
         (fun (p1, p2) ->
           emit Gate.SWAP [ p1; p2 ];

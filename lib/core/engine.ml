@@ -86,6 +86,12 @@ let c_swaps = Qobs.counter "engine.swaps_emitted"
 let c_force = Qobs.counter "engine.force_progress_escapes"
 let g_predicted = Qobs.gauge "engine.predicted_cnot_savings"
 
+(* score-distribution histograms, fed only while the flight recorder is
+   enabled so plain --trace output stays byte-identical to older builds *)
+let h_candidate = Qobs.histogram "engine.candidate_h"
+let h_chosen = Qobs.histogram "engine.chosen_h"
+let h_front = Qobs.histogram "engine.front_size"
+
 let two_qubit_front dag tr mapping =
   List.filter_map
     (fun id ->
@@ -197,7 +203,7 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
             else params.ext_weight /. ne *. dsum ext_pairs
           in
           let h = (h_basic +. h_ext) *. Float.max decay.(p1) decay.(p2) in
-          (h, bonus_v, (p1, p2), action))
+          (h, h_basic, h_ext, bonus_v, (p1, p2), action))
         candidates
     in
     if Qobs.active () then begin
@@ -210,9 +216,31 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
     | [] ->
         raise (Routing_stuck { front = front_pairs; l2p = Array.copy mapping.l2p })
     | _ ->
-        let best_h = List.fold_left (fun m (h, _, _, _) -> Float.min m h) infinity scored in
-        let best = List.filter (fun (h, _, _, _) -> h <= best_h +. 1e-12) scored in
-        let _, bonus_v, (p1, p2), action = Rng.pick rng best in
+        let best_h =
+          List.fold_left (fun m (h, _, _, _, _, _) -> Float.min m h) infinity scored
+        in
+        let best = List.filter (fun (h, _, _, _, _, _) -> h <= best_h +. 1e-12) scored in
+        let _, _, _, bonus_v, (p1, p2), action = Rng.pick rng best in
+        if Qobs.Recorder.active () then begin
+          Qobs.Recorder.record_step
+            ~front:(List.length front_pairs)
+            ~candidates:
+              (List.map
+                 (fun (h, hb, he, bv, (a, b), _) ->
+                   {
+                     Qobs.Recorder.p1 = a;
+                     p2 = b;
+                     h_basic = hb;
+                     h_lookahead = he;
+                     h;
+                     bonus = bv;
+                   })
+                 scored)
+            ~chosen:(p1, p2) ~chosen_bonus:bonus_v ();
+          List.iter (fun (h, _, _, _, _, _) -> Qobs.observe h_candidate h) scored;
+          Qobs.observe h_chosen best_h;
+          Qobs.observe h_front (float_of_int (List.length front_pairs))
+        end;
         let op = emit Gate.SWAP [ p1; p2 ] Swap_plain in
         action op;
         apply_swap mapping p1 p2;
@@ -237,9 +265,27 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
         | [ a; b ] ->
             let pa = mapping.l2p.(a) and pb = mapping.l2p.(b) in
             let path = Coupling.shortest_path coupling pa pb in
+            let front_n =
+              if Qobs.Recorder.active () then List.length (two_qubit_front dag tr mapping)
+              else 0
+            in
             let rec walk = function
               | p :: q :: rest when rest <> [] ->
                   ignore (emit Gate.SWAP [ p; q ] Swap_plain);
+                  if Qobs.Recorder.active () then
+                    Qobs.Recorder.record_step ~front:front_n ~forced:true
+                      ~candidates:
+                        [
+                          {
+                            Qobs.Recorder.p1 = min p q;
+                            p2 = max p q;
+                            h_basic = 0.0;
+                            h_lookahead = 0.0;
+                            h = 0.0;
+                            bonus = 0.0;
+                          };
+                        ]
+                      ~chosen:(p, q) ~chosen_bonus:0.0 ();
                   apply_swap mapping p q;
                   incr n_swaps;
                   Qobs.incr c_swaps;
@@ -282,6 +328,9 @@ let reverse_circuit c =
 
 let find_layout params coupling ~rng ~dist ~bonus circuit =
   Qobs.span "engine.find_layout" @@ fun () ->
+  (* The forward/backward layout search routes the circuit repeatedly; only
+     the final routing pass belongs in the flight record. *)
+  Qobs.Recorder.without @@ fun () ->
   let n_phys = Coupling.n_qubits coupling in
   let n_log = Qcircuit.Circuit.n_qubits circuit in
   if n_log > n_phys then invalid_arg "Engine.find_layout: circuit larger than device";

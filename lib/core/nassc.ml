@@ -107,12 +107,16 @@ let commute_bonus cfg ~out_rev p1 p2 =
     match commute_walk ~scan_limit:cfg.scan_limit ~out_rev p1 p2 c t with
     | Cx_found when cfg.enable_commute1 ->
         Qobs.incr c_commute1;
-        Some (2.0, fun (swap_op : Engine.out_op) -> tag_if_enabled swap_op c t)
+        Some
+          ( 2.0,
+            Qobs.Recorder.Commute1,
+            fun (swap_op : Engine.out_op) -> tag_if_enabled swap_op c t )
     | Swap_found earlier when cfg.enable_commute2 && orientation_tag_compatible earlier c t
       ->
         Qobs.incr c_commute2;
         Some
           ( 2.0,
+            Qobs.Recorder.Commute2,
             fun (swap_op : Engine.out_op) ->
               tag_if_enabled earlier c t;
               tag_if_enabled swap_op c t )
@@ -131,9 +135,16 @@ let bonus cfg : Engine.bonus_fn =
     end
     else 0.0
   in
+  let note kind =
+    if Qobs.Recorder.active () then Qobs.Recorder.note_bucket ~p1 ~p2 kind
+  in
   match commute_bonus cfg ~out_rev p1 p2 with
-  | Some (c_comm, action) when c_comm >= c2q -> (c_comm, action)
-  | Some _ | None -> (c2q, fun _ -> ())
+  | Some (c_comm, kind, action) when c_comm >= c2q ->
+      note kind;
+      (c_comm, action)
+  | Some _ | None ->
+      if c2q > 0.0 then note Qobs.Recorder.C2q;
+      (c2q, fun _ -> ())
 
 (* ---- optimization-aware SWAP decomposition ---- *)
 
@@ -179,6 +190,7 @@ let finalize ops =
 let route ?(params = Engine.default_params) ?(config = default_config) ?dist coupling
     circuit =
   Qobs.span "nassc.route" @@ fun () ->
+  Qobs.Recorder.in_router "nassc" @@ fun () ->
   let dist = match dist with Some d -> d | None -> Sabre.hop_distance coupling in
   let b = bonus config in
   (* layout search uses the plain heuristic (same mapping algorithm as

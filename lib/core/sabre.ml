@@ -16,6 +16,7 @@ let c_decomposed = Qobs.counter "sabre.swaps_decomposed"
 
 let route ?(params = Engine.default_params) ?dist coupling circuit =
   Qobs.span "sabre.route" @@ fun () ->
+  Qobs.Recorder.in_router "sabre" @@ fun () ->
   let dist = match dist with Some d -> d | None -> hop_distance coupling in
   let bonus = Engine.zero_bonus in
   let layout =

@@ -91,17 +91,29 @@ let run ?workers ~n ~base_seed ~measure f =
      order — so the trace is identical for any worker count *)
   let parent_collector = Qobs.current () in
   let collectors = Array.make n None in
+  (* the flight recorder mirrors the collector discipline exactly: one
+     recorder per trial, merged in trial order on the joining domain *)
+  let parent_recorder = Qobs.Recorder.current () in
+  let recorders = Array.make n None in
   let outcomes =
     map ~workers ~n (fun k ->
         let seed = trial_seed ~base:base_seed k in
         let t0 = Unix.gettimeofday () in
-        let v =
+        let body () =
           match parent_collector with
           | None -> f ~trial:k ~seed
           | Some _ ->
               let c = Qobs.Collector.create ~trial:k ~label:"trial" () in
               collectors.(k) <- Some c;
               Qobs.with_collector c (fun () -> f ~trial:k ~seed)
+        in
+        let v =
+          match parent_recorder with
+          | None -> body ()
+          | Some _ ->
+              let r = Qobs.Recorder.create ~trial:k ~label:"trial" () in
+              recorders.(k) <- Some r;
+              Qobs.Recorder.with_recorder r body
         in
         (v, Unix.gettimeofday () -. t0))
   in
@@ -112,6 +124,12 @@ let run ?workers ~n ~base_seed ~measure f =
       Array.iter
         (function Ok _ -> Qobs.incr c_ok | Error _ -> Qobs.incr c_failed)
         outcomes);
+  (match parent_recorder with
+  | None -> ()
+  | Some p ->
+      Array.iter
+        (function Some r -> Qobs.Recorder.add_child p r | None -> ())
+        recorders);
   let stats =
     Array.to_list
       (Array.mapi

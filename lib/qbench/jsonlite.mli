@@ -1,0 +1,23 @@
+(** A minimal JSON reader: enough for [bench --regress] to load checked-in
+    [BENCH_*.json] baselines without a dependency.  Numbers are floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input (with an offset). *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing keys and non-objects. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_string : t -> string option
+val to_list : t -> t list option

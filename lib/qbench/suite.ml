@@ -30,3 +30,16 @@ let paper_suite =
 
 let find name = List.find (fun e -> e.name = name) paper_suite
 let small_suite = List.filter (fun e -> not e.heavy) paper_suite
+
+let regress_suite ~quick =
+  if quick then
+    List.map find
+      [
+        "Grover 4-qubits";
+        "Grover 6-qubits";
+        "VQE 8-qubits";
+        "QPE 9-qubits";
+        "Adder 10-qubits";
+        "QFT 15-qubits";
+      ]
+  else small_suite

@@ -16,3 +16,8 @@ val find : string -> entry
 
 val small_suite : entry list
 (** The non-heavy entries; handy for quick runs and tests. *)
+
+val regress_suite : quick:bool -> entry list
+(** The circuits [bench --regress] runs: with [quick:true] a six-circuit
+    spread over sizes 4..15 (what CI compares against the checked-in
+    baseline), otherwise {!small_suite}. *)

@@ -1,0 +1,109 @@
+(* Bounded-memory log-bucketed histogram.
+
+   Fixed layout shared by every histogram in the process: bucket 0 catches
+   everything at or below [lo] (including zero and negatives, which the
+   metrics here never produce but must not crash on), then [mid_buckets]
+   geometric buckets growing by [ratio] per step, with the last bucket
+   absorbing overflow.  With lo = 1e-6 and four buckets per octave the
+   resolvable range is [1e-6, ~7e4] at <= 19% relative error — wide enough
+   for pass latencies in seconds and heuristic scores alike, at a fixed
+   ~1.2 kB per histogram.
+
+   Merging sums bucket counts (plus n/sum/min/max), so it is associative
+   and commutative: per-trial histograms merged in trial order give the
+   same aggregate whatever the worker count. *)
+
+let lo = 1e-6
+let mid_buckets = 144
+let n_buckets = mid_buckets + 1
+let log_ratio = log 2.0 /. 4.0 (* ratio = 2^(1/4) *)
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create () =
+  { counts = Array.make n_buckets 0; n = 0; sum = 0.0; vmin = infinity; vmax = neg_infinity }
+
+let bucket_of v =
+  if not (v > lo) then 0
+  else
+    let i = 1 + int_of_float (Float.floor (log (v /. lo) /. log_ratio)) in
+    if i >= n_buckets then n_buckets - 1 else i
+
+(* (inclusive-upper) value bounds of bucket [i]: bucket 0 is (-inf, lo],
+   bucket i >= 1 is (lo * r^(i-1), lo * r^i] *)
+let bucket_bounds i =
+  if i <= 0 then (neg_infinity, lo)
+  else (lo *. exp (float_of_int (i - 1) *. log_ratio), lo *. exp (float_of_int i *. log_ratio))
+
+let observe t v =
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.n
+let sum t = t.sum
+let min_value t = t.vmin
+let max_value t = t.vmax
+let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+
+let merge_into ~into src =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.n <- into.n + src.n;
+  into.sum <- into.sum +. src.sum;
+  if src.vmin < into.vmin then into.vmin <- src.vmin;
+  if src.vmax > into.vmax then into.vmax <- src.vmax
+
+let merge a b =
+  let t = create () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+let copy t =
+  let c = create () in
+  merge_into ~into:c t;
+  c
+
+let equal a b =
+  a.n = b.n && a.sum = b.sum && a.vmin = b.vmin && a.vmax = b.vmax && a.counts = b.counts
+
+let nonzero_buckets t =
+  let out = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then out := (i, t.counts.(i)) :: !out
+  done;
+  !out
+
+(* representative value of a bucket: the geometric midpoint of its bounds,
+   clamped into the observed [vmin, vmax] so estimates never leave the data
+   range (and bucket 0, whose lower bound is -inf, reports vmin) *)
+let representative t i =
+  let clamp v = Float.min t.vmax (Float.max t.vmin v) in
+  if i = 0 then t.vmin
+  else
+    let a, b = bucket_bounds i in
+    clamp (sqrt (a *. b))
+
+let percentile t p =
+  if t.n = 0 then nan
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.n)) in
+      if r < 1 then 1 else if r > t.n then t.n else r
+    in
+    let rec find i cum =
+      if i >= n_buckets then t.vmax
+      else
+        let cum = cum + t.counts.(i) in
+        if cum >= rank then representative t i else find (i + 1) cum
+    in
+    find 0 0
+  end

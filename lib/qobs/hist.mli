@@ -1,0 +1,49 @@
+(** Bounded-memory log-bucketed histogram.
+
+    Every histogram shares one fixed bucket layout (bucket 0 for values
+    <= 1e-6, then 144 geometric buckets at ratio 2^(1/4), the last
+    absorbing overflow), so memory is constant per histogram and
+    {!merge_into} is plain bucket-count addition — associative and
+    commutative, which is what lets per-trial histograms be merged in
+    trial order with a worker-count-independent result.
+
+    This is the value type; interning by name and per-collector storage
+    live in {!Qobs} ([Qobs.histogram] / [Qobs.observe]). *)
+
+type t
+
+val n_buckets : int
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** O(1): one bucket increment plus running n/sum/min/max updates. *)
+
+val bucket_of : float -> int
+val bucket_bounds : int -> float * float
+(** [(lower, upper)] value bounds of a bucket; upper is inclusive. *)
+
+val count : t -> int
+val sum : t -> float
+
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0, 100]: the representative value
+    (geometric bucket midpoint, clamped to the observed min/max) of the
+    bucket holding the rank [ceil (p/100 * n)] observation. [nan] when
+    empty. *)
+
+val merge_into : into:t -> t -> unit
+val merge : t -> t -> t
+val copy : t -> t
+val equal : t -> t -> bool
+
+val nonzero_buckets : t -> (int * int) list
+(** [(bucket index, count)] for every non-empty bucket, ascending. *)

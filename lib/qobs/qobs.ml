@@ -5,10 +5,16 @@
    registry (touched at module init, mutex-protected) and one atomic count
    of installed collectors, read on every probe as the fast-path gate. *)
 
+(* ---- submodules re-exported as part of the public interface ---- *)
+
+module Hist = Hist
+module Recorder = Recorder
+
 (* ---- registries ---- *)
 
 type counter = int
 type gauge = int
+type histogram = int
 
 let registry_lock = Mutex.create ()
 
@@ -17,6 +23,7 @@ type registry = { mutable names : string array; mutable count : int; tbl : (stri
 let mk_registry () = { names = Array.make 16 ""; count = 0; tbl = Hashtbl.create 32 }
 let counter_reg = mk_registry ()
 let gauge_reg = mk_registry ()
+let hist_reg = mk_registry ()
 
 let intern reg name =
   Mutex.protect registry_lock (fun () ->
@@ -36,6 +43,7 @@ let intern reg name =
 
 let counter name = intern counter_reg name
 let gauge name = intern gauge_reg name
+let histogram name = intern hist_reg name
 
 let registered reg =
   Mutex.protect registry_lock (fun () -> Array.sub reg.names 0 reg.count)
@@ -48,6 +56,7 @@ module Collector = struct
     sp_seq : int;
     sp_parent : int;
     sp_depth : int;
+    sp_start : float;
     mutable sp_wall : float;
     mutable sp_cpu : float;
   }
@@ -58,6 +67,7 @@ module Collector = struct
     mutable counts : int array;
     mutable gvals : float array;
     mutable gset : bool array;
+    mutable hists : Hist.t option array;
     mutable done_rev : span_rec list;
     mutable stack : span_rec list;
     mutable next_seq : int;
@@ -71,6 +81,7 @@ module Collector = struct
       counts = Array.make 16 0;
       gvals = Array.make 8 0.0;
       gset = Array.make 8 false;
+      hists = Array.make 8 None;
       done_rev = [];
       stack = [];
       next_seq = 0;
@@ -101,6 +112,17 @@ module Collector = struct
       names;
     List.sort compare !out
 
+  let hist_of t id = if id < Array.length t.hists then t.hists.(id) else None
+
+  let histograms t =
+    let names = registered hist_reg in
+    let out = ref [] in
+    Array.iteri
+      (fun id name ->
+        match hist_of t id with Some h -> out := (name, h) :: !out | None -> ())
+      names;
+    List.sort (fun (a, _) (b, _) -> compare a b) !out
+
   let add_child parent child = parent.children_rev <- child :: parent.children_rev
   let children t = List.rev t.children_rev
 
@@ -121,6 +143,19 @@ module Collector = struct
       t.gvals <- gv;
       t.gset <- gs
     end
+
+  let hist_slot t id =
+    if id >= Array.length t.hists then begin
+      let bigger = Array.make (max (2 * Array.length t.hists) (id + 1)) None in
+      Array.blit t.hists 0 bigger 0 (Array.length t.hists);
+      t.hists <- bigger
+    end;
+    match t.hists.(id) with
+    | Some h -> h
+    | None ->
+        let h = Hist.create () in
+        t.hists.(id) <- Some h;
+        h
 end
 
 (* ---- the per-domain install point ---- *)
@@ -170,6 +205,9 @@ let gauge_add id v =
       c.Collector.gvals.(id) <- c.Collector.gvals.(id) +. v;
       c.Collector.gset.(id) <- true
 
+let observe id v =
+  match current () with None -> () | Some c -> Hist.observe (Collector.hist_slot c id) v
+
 let span name f =
   match current () with
   | None -> f ()
@@ -178,13 +216,13 @@ let span name f =
       let parent, depth =
         match c.stack with [] -> (-1, 0) | top :: _ -> (top.sp_seq, top.sp_depth + 1)
       in
+      let w0 = Unix.gettimeofday () and t0 = Sys.time () in
       let r =
         { sp_name = name; sp_seq = c.next_seq; sp_parent = parent; sp_depth = depth;
-          sp_wall = 0.0; sp_cpu = 0.0 }
+          sp_start = w0; sp_wall = 0.0; sp_cpu = 0.0 }
       in
       c.next_seq <- c.next_seq + 1;
       c.stack <- r :: c.stack;
-      let w0 = Unix.gettimeofday () and t0 = Sys.time () in
       Fun.protect
         ~finally:(fun () ->
           r.sp_wall <- Unix.gettimeofday () -. w0;
@@ -235,6 +273,27 @@ module Trace = struct
   let trial_field c =
     match Collector.trial c with None -> "null" | Some k -> string_of_int k
 
+  let histograms_total t =
+    let names = registered hist_reg in
+    let totals = Array.make (Array.length names) None in
+    List.iter
+      (fun c ->
+        Array.iteri
+          (fun id _ ->
+            match Collector.hist_of c id with
+            | None -> ()
+            | Some h -> (
+                match totals.(id) with
+                | None -> totals.(id) <- Some (Hist.copy h)
+                | Some acc -> Hist.merge_into ~into:acc h))
+          names)
+      (collectors t);
+    let out = ref [] in
+    Array.iteri
+      (fun id name -> match totals.(id) with Some h -> out := (name, h) :: !out | None -> ())
+      names;
+    List.sort (fun (a, _) (b, _) -> compare a b) !out
+
   let to_jsonl ?(times = false) t =
     let buf = Buffer.create 4096 in
     let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
@@ -263,11 +322,76 @@ module Trace = struct
               (json_escape name) v)
           (Collector.gauges c))
       (collectors t);
+    (* histogram lines appear only once something was observed, so traces
+       from runs that touch no histogram stay byte-identical to older
+       builds *)
+    List.iter
+      (fun (name, h) ->
+        let buckets =
+          String.concat ","
+            (List.map (fun (i, c) -> Printf.sprintf "[%d,%d]" i c) (Hist.nonzero_buckets h))
+        in
+        line
+          {|{"type":"hist","name":"%s","n":%d,"sum":%.12g,"min":%.12g,"max":%.12g,"p50":%.9g,"p90":%.9g,"p99":%.9g,"buckets":[%s]}|}
+          (json_escape name) (Hist.count h) (Hist.sum h) (Hist.min_value h)
+          (Hist.max_value h) (Hist.percentile h 50.0) (Hist.percentile h 90.0)
+          (Hist.percentile h 99.0) buckets)
+      (histograms_total t);
     Buffer.contents buf
 
-  (* spans aggregated by slash-joined ancestor path, across collectors *)
+  (* Chrome trace_event JSON (load in Perfetto or about://tracing): one
+     complete ("X") event per span, one track per collector.  Uses the
+     spans' wall-clock start stamps, so unlike [to_jsonl] the output is
+     nondeterministic. *)
+  let to_chrome t =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf {|{"traceEvents":[|};
+    let first = ref true in
+    let event fmt =
+      Printf.ksprintf
+        (fun s ->
+          if not !first then Buffer.add_char buf ',';
+          first := false;
+          Buffer.add_string buf s)
+        fmt
+    in
+    let t0 =
+      List.fold_left
+        (fun acc c ->
+          List.fold_left
+            (fun acc (s : Collector.span_rec) -> Float.min acc s.sp_start)
+            acc (Collector.spans c))
+        infinity (collectors t)
+    in
+    let t0 = if t0 = infinity then 0.0 else t0 in
+    List.iteri
+      (fun tid c ->
+        let tname =
+          match Collector.trial c with
+          | Some k -> Printf.sprintf "trial %d" k
+          | None -> (match Collector.label c with "" -> "main" | l -> l)
+        in
+        event {|{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"%s"}}|} tid
+          (json_escape tname);
+        List.iter
+          (fun (s : Collector.span_rec) ->
+            event
+              {|{"name":"%s","cat":"span","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"cpu_ms":%.3f}}|}
+              (json_escape s.sp_name)
+              (1e6 *. (s.sp_start -. t0))
+              (1e6 *. s.sp_wall) tid (1000.0 *. s.sp_cpu))
+          (Collector.spans c))
+      (collectors t);
+    Buffer.add_string buf "]}";
+    Buffer.contents buf
+
+  (* spans aggregated by slash-joined ancestor path, across collectors; the
+     per-call wall times additionally feed a histogram per path so the
+     summary can report latency percentiles through the same Hist path the
+     regression harness uses *)
   let aggregate t =
     let rows : (string, int * float * float) Hashtbl.t = Hashtbl.create 64 in
+    let hists : (string, Hist.t) Hashtbl.t = Hashtbl.create 64 in
     let order = ref [] in
     List.iter
       (fun c ->
@@ -282,6 +406,12 @@ module Trace = struct
             in
             let path = prefix ^ s.sp_name in
             Hashtbl.replace path_of s.sp_seq path;
+            (match Hashtbl.find_opt hists path with
+            | Some h -> Hist.observe h s.sp_wall
+            | None ->
+                let h = Hist.create () in
+                Hist.observe h s.sp_wall;
+                Hashtbl.replace hists path h);
             (match Hashtbl.find_opt rows path with
             | None ->
                 order := path :: !order;
@@ -289,19 +419,25 @@ module Trace = struct
             | Some (n, w, cp) -> Hashtbl.replace rows path (n + 1, w +. s.sp_wall, cp +. s.sp_cpu)))
           spans)
       (collectors t);
-    List.rev_map (fun path -> (path, Hashtbl.find rows path)) !order
+    List.rev_map
+      (fun path -> (path, Hashtbl.find rows path, Hashtbl.find hists path))
+      !order
 
   let pp_summary fmt t =
     let rows = aggregate t in
     let width =
-      List.fold_left (fun acc (p, _) -> max acc (String.length p)) 24 rows
+      List.fold_left (fun acc (p, _, _) -> max acc (String.length p)) 24 rows
     in
-    Format.fprintf fmt "%-*s %8s %12s %12s@." width "span" "calls" "wall(ms)" "cpu(ms)";
-    Format.fprintf fmt "%s@." (String.make (width + 36) '-');
+    Format.fprintf fmt "%-*s %8s %12s %12s %9s %9s %9s@." width "span" "calls" "wall(ms)"
+      "cpu(ms)" "p50(ms)" "p90(ms)" "p99(ms)";
+    Format.fprintf fmt "%s@." (String.make (width + 66) '-');
     List.iter
-      (fun (path, (calls, wall, cpu)) ->
-        Format.fprintf fmt "%-*s %8d %12.3f %12.3f@." width path calls (1000.0 *. wall)
-          (1000.0 *. cpu))
+      (fun (path, (calls, wall, cpu), h) ->
+        Format.fprintf fmt "%-*s %8d %12.3f %12.3f %9.3f %9.3f %9.3f@." width path calls
+          (1000.0 *. wall) (1000.0 *. cpu)
+          (1000.0 *. Hist.percentile h 50.0)
+          (1000.0 *. Hist.percentile h 90.0)
+          (1000.0 *. Hist.percentile h 99.0))
       rows;
     let nonzero = List.filter (fun (_, v) -> v <> 0) (counters_total t) in
     if nonzero <> [] then begin
@@ -323,5 +459,17 @@ module Trace = struct
           let tr = match trial with None -> "-" | Some k -> string_of_int k in
           Format.fprintf fmt "%-*s %8s %12.4g@." width name tr v)
         gauge_rows
+    end;
+    let hist_rows = histograms_total t in
+    if hist_rows <> [] then begin
+      Format.fprintf fmt "@.%-*s %8s %12s %9s %9s %9s %12s@." width "histogram" "n" "mean"
+        "p50" "p90" "p99" "max";
+      Format.fprintf fmt "%s@." (String.make (width + 66) '-');
+      List.iter
+        (fun (name, h) ->
+          Format.fprintf fmt "%-*s %8d %12.4g %9.4g %9.4g %9.4g %12.4g@." width name
+            (Hist.count h) (Hist.mean h) (Hist.percentile h 50.0) (Hist.percentile h 90.0)
+            (Hist.percentile h 99.0) (Hist.max_value h))
+        hist_rows
     end
 end

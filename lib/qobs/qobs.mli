@@ -17,14 +17,29 @@
     merges them into the parent in trial order at join, which is what keeps
     traces deterministic across worker counts. *)
 
+module Hist = Hist
+(** The bounded log-bucketed histogram value type (see {!Hist}). *)
+
+module Recorder = Recorder
+(** The routing flight recorder (see {!Recorder}): decision-trail events,
+    installed per unit of work like collectors, gated by its own single
+    atomic load. *)
+
 type counter
 type gauge
+
+type histogram
+(** A named histogram identity; per-collector {!Hist.t} instances are
+    created lazily on first {!observe}. *)
 
 val counter : string -> counter
 (** Intern a counter by name (idempotent; call at module init). *)
 
 val gauge : string -> gauge
 (** Intern a float-valued gauge by name (idempotent). *)
+
+val histogram : string -> histogram
+(** Intern a histogram by name (idempotent). *)
 
 val active : unit -> bool
 (** True iff a collector is installed on the calling domain. *)
@@ -36,6 +51,11 @@ val gauge_set : gauge -> float -> unit
 (** Last write wins. *)
 
 val gauge_add : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+(** Record one observation on the calling domain's collector (no-op
+    without one).  Bounded memory: a fixed-size {!Hist.t} per histogram
+    per collector, created on first use. *)
 
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] times [f ()] (wall and CPU) as a child of the innermost
@@ -50,6 +70,7 @@ module Collector : sig
     sp_seq : int;  (** preorder index within this collector, from 0 *)
     sp_parent : int;  (** [sp_seq] of the parent span, [-1] for roots *)
     sp_depth : int;  (** 0 for roots, parent depth + 1 otherwise *)
+    sp_start : float;  (** wall clock at open (Chrome export only) *)
     mutable sp_wall : float;  (** seconds of wall clock *)
     mutable sp_cpu : float;  (** seconds of process CPU time *)
   }
@@ -73,6 +94,9 @@ module Collector : sig
 
   val gauges : t -> (string * float) list
   (** Gauges written on this collector, sorted by name. *)
+
+  val histograms : t -> (string * Hist.t) list
+  (** Histograms observed on this collector, sorted by name. *)
 
   val add_child : t -> t -> unit
   (** [add_child parent child] appends [child] to [parent]'s merge list;
@@ -99,15 +123,30 @@ module Trace : sig
   (** Registered counters summed over the root and every child, sorted by
       name. *)
 
+  val histograms_total : t -> (string * Hist.t) list
+  (** Histograms merged (bucket-count addition, root first then children
+      in merge order) over the whole trace, sorted by name. *)
+
   val to_jsonl : ?times:bool -> t -> string
   (** JSON-lines export: one [span] line per span (root collector first,
       then each child in merge order), then aggregated [counter] lines,
-      then per-collector [gauge] lines.  With [times:false] (the default)
-      the output is a pure function of the computation — byte-identical
-      across runs, worker counts and machines; [times:true] adds [wall_ms]
-      / [cpu_ms] fields to spans, which are inherently nondeterministic. *)
+      then per-collector [gauge] lines, then aggregated [hist] lines (only
+      for histograms that were actually observed — a run touching no
+      histogram exports exactly the pre-histogram format).  With
+      [times:false] (the default) the output is a pure function of the
+      computation — byte-identical across runs, worker counts and
+      machines; [times:true] adds [wall_ms] / [cpu_ms] fields to spans,
+      which are inherently nondeterministic. *)
+
+  val to_chrome : t -> string
+  (** Chrome [trace_event] JSON (loadable in Perfetto or
+      [about://tracing]): one complete event per span, one track per
+      collector.  Timestamps are wall clock, so this export is
+      nondeterministic. *)
 
   val pp_summary : Format.formatter -> t -> unit
   (** Human-readable profile: spans aggregated by path (calls, total wall
-      and CPU milliseconds), then counters and gauges. *)
+      and CPU milliseconds, plus p50/p90/p99 per-call wall latency through
+      the shared {!Hist} percentile path), then counters, gauges and
+      histograms. *)
 end

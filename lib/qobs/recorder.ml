@@ -1,0 +1,345 @@
+(* The routing flight recorder.
+
+   One recorder per logical unit of work (the main pipeline, or one routing
+   trial), installed domain-locally exactly like a Qobs collector: the only
+   cross-domain state is one atomic count of installed recorders, read as
+   the fast-path gate, so with no recorder anywhere in the process every
+   hook is a single atomic-load-and-branch.
+
+   What gets recorded is the router's decision trail, not timings: per
+   routing step the two-qubit front-layer size, every candidate SWAP with
+   its H_basic / H_lookahead components and the savings bucket its bonus
+   drew from (C_2q / C_commute1 / C_commute2, eq. 1 of the paper), and the
+   chosen SWAP; per trial the routed-vs-final CNOT counts, i.e. the
+   realized side of the predicted-vs-realized savings claim.  Steps carry a
+   wall-clock stamp used only by the Chrome export — the JSONL export is a
+   pure function of the routing computation, byte-identical across runs
+   and worker counts for a fixed seed.
+
+   The trial engine creates one child recorder per trial and merges the
+   children into the parent in trial order at join (mirroring
+   Qobs.Collector), which is what keeps the export deterministic. *)
+
+type bucket = No_bucket | C2q | Commute1 | Commute2
+
+let bucket_name = function
+  | No_bucket -> "none"
+  | C2q -> "c2q"
+  | Commute1 -> "commute1"
+  | Commute2 -> "commute2"
+
+type cand = {
+  p1 : int;
+  p2 : int;
+  h_basic : float;
+  h_lookahead : float;
+  h : float;
+  bonus : float;
+}
+
+type candidate = { cd : cand; cd_bucket : bucket }
+
+type step = {
+  st_seq : int;
+  st_router : string;
+  st_front : int;
+  st_forced : bool;
+  st_candidates : candidate list;  (* sorted by (p1, p2) *)
+  st_chosen : int * int;
+  st_chosen_bonus : float;
+  st_chosen_bucket : bucket;
+  st_time : float;  (* wall clock at record time; Chrome export only *)
+}
+
+type summary = { sm_cx_routed : int; sm_cx_final : int }
+
+type t = {
+  label : string;
+  trial : int option;
+  mutable router : string;
+  mutable steps_rev : step list;
+  mutable next_seq : int;
+  (* buckets noted by the cost model during the current scoring round,
+     consumed by the next [record_step] *)
+  mutable scratch : ((int * int) * bucket) list;
+  mutable summary : summary option;
+  mutable children_rev : t list;
+}
+
+let create ?trial ?(label = "") () =
+  {
+    label;
+    trial;
+    router = "";
+    steps_rev = [];
+    next_seq = 0;
+    scratch = [];
+    summary = None;
+    children_rev = [];
+  }
+
+let trial t = t.trial
+let label t = t.label
+let steps t = List.rev t.steps_rev
+let summary t = t.summary
+let add_child parent child = parent.children_rev <- child :: parent.children_rev
+let children t = List.rev t.children_rev
+
+(* ---- the per-domain install point (mirrors Qobs collectors) ---- *)
+
+let installed = Atomic.make 0
+let dls_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () = if Atomic.get installed = 0 then None else Domain.DLS.get dls_key
+let active () = current () <> None
+
+let with_recorder r f =
+  let prev = Domain.DLS.get dls_key in
+  Domain.DLS.set dls_key (Some r);
+  Atomic.incr installed;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr installed;
+      Domain.DLS.set dls_key prev)
+    f
+
+let without f =
+  match Domain.DLS.get dls_key with
+  | None -> f ()
+  | Some _ as prev ->
+      Domain.DLS.set dls_key None;
+      Atomic.decr installed;
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.incr installed;
+          Domain.DLS.set dls_key prev)
+        f
+
+let in_router name f =
+  match current () with
+  | None -> f ()
+  | Some r ->
+      let prev = r.router in
+      r.router <- name;
+      Fun.protect ~finally:(fun () -> r.router <- prev) f
+
+(* ---- hooks ---- *)
+
+let note_bucket ~p1 ~p2 b =
+  match current () with
+  | None -> ()
+  | Some r ->
+      let key = (min p1 p2, max p1 p2) in
+      r.scratch <- (key, b) :: r.scratch
+
+let record_step ~front ?(forced = false) ~candidates ~chosen ~chosen_bonus () =
+  match current () with
+  | None -> ()
+  | Some r ->
+      let bucket_for p1 p2 =
+        match List.assoc_opt (min p1 p2, max p1 p2) r.scratch with
+        | Some b -> b
+        | None -> No_bucket
+      in
+      let cands =
+        List.map (fun (c : cand) -> { cd = c; cd_bucket = bucket_for c.p1 c.p2 }) candidates
+        |> List.sort (fun a b ->
+               compare (a.cd.p1, a.cd.p2) (b.cd.p1, b.cd.p2))
+      in
+      let c1, c2 = chosen in
+      let step =
+        {
+          st_seq = r.next_seq;
+          st_router = r.router;
+          st_front = front;
+          st_forced = forced;
+          st_candidates = cands;
+          st_chosen = chosen;
+          st_chosen_bonus = chosen_bonus;
+          st_chosen_bucket = (if forced then No_bucket else bucket_for c1 c2);
+          st_time = Unix.gettimeofday ();
+        }
+      in
+      r.next_seq <- r.next_seq + 1;
+      r.steps_rev <- step :: r.steps_rev;
+      r.scratch <- []
+
+let record_result ~cx_routed ~cx_final =
+  match current () with
+  | None -> ()
+  | Some r -> r.summary <- Some { sm_cx_routed = cx_routed; sm_cx_final = cx_final }
+
+(* ---- aggregation ---- *)
+
+type totals = {
+  steps : int;
+  candidates : int;
+  forced : int;
+  cand_c2q : int;
+  cand_commute1 : int;
+  cand_commute2 : int;
+  chosen_c2q : int;
+  chosen_commute1 : int;
+  chosen_commute2 : int;
+  predicted : float;
+  cx_routed : int;
+  cx_final : int;
+  realized : int;
+  trials_summarized : int;
+}
+
+let recorders t = t :: children t
+
+let totals t =
+  let z =
+    {
+      steps = 0;
+      candidates = 0;
+      forced = 0;
+      cand_c2q = 0;
+      cand_commute1 = 0;
+      cand_commute2 = 0;
+      chosen_c2q = 0;
+      chosen_commute1 = 0;
+      chosen_commute2 = 0;
+      predicted = 0.0;
+      cx_routed = 0;
+      cx_final = 0;
+      realized = 0;
+      trials_summarized = 0;
+    }
+  in
+  List.fold_left
+    (fun acc r ->
+      let acc =
+        List.fold_left
+          (fun acc s ->
+            let cand_bucket acc c =
+              match c.cd_bucket with
+              | No_bucket -> acc
+              | C2q -> { acc with cand_c2q = acc.cand_c2q + 1 }
+              | Commute1 -> { acc with cand_commute1 = acc.cand_commute1 + 1 }
+              | Commute2 -> { acc with cand_commute2 = acc.cand_commute2 + 1 }
+            in
+            let acc = List.fold_left cand_bucket acc s.st_candidates in
+            let acc =
+              match s.st_chosen_bucket with
+              | No_bucket -> acc
+              | C2q -> { acc with chosen_c2q = acc.chosen_c2q + 1 }
+              | Commute1 -> { acc with chosen_commute1 = acc.chosen_commute1 + 1 }
+              | Commute2 -> { acc with chosen_commute2 = acc.chosen_commute2 + 1 }
+            in
+            {
+              acc with
+              steps = acc.steps + 1;
+              candidates = acc.candidates + List.length s.st_candidates;
+              forced = (acc.forced + if s.st_forced then 1 else 0);
+              predicted = acc.predicted +. s.st_chosen_bonus;
+            })
+          acc (steps r)
+      in
+      match r.summary with
+      | None -> acc
+      | Some sm ->
+          {
+            acc with
+            cx_routed = acc.cx_routed + sm.sm_cx_routed;
+            cx_final = acc.cx_final + sm.sm_cx_final;
+            realized = acc.realized + (sm.sm_cx_routed - sm.sm_cx_final);
+            trials_summarized = acc.trials_summarized + 1;
+          })
+    z (recorders t)
+
+(* ---- export ---- *)
+
+let schema_version = 1
+
+let trial_field r = match r.trial with None -> "null" | Some k -> string_of_int k
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line {|{"type":"recorder_meta","version":%d}|} schema_version;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun s ->
+          let cands =
+            String.concat ","
+              (List.map
+                 (fun c ->
+                   Printf.sprintf
+                     {|{"swap":[%d,%d],"h_basic":%.9g,"h_lookahead":%.9g,"h":%.9g,"bonus":%.9g,"bucket":"%s"}|}
+                     c.cd.p1 c.cd.p2 c.cd.h_basic c.cd.h_lookahead c.cd.h c.cd.bonus
+                     (bucket_name c.cd_bucket))
+                 s.st_candidates)
+          in
+          let c1, c2 = s.st_chosen in
+          line
+            {|{"type":"step","trial":%s,"seq":%d,"router":"%s","front":%d,"forced":%b,"chosen":[%d,%d],"chosen_bonus":%.9g,"chosen_bucket":"%s","candidates":[%s]}|}
+            (trial_field r) s.st_seq s.st_router s.st_front s.st_forced c1 c2
+            s.st_chosen_bonus (bucket_name s.st_chosen_bucket) cands)
+        (steps r))
+    (recorders t);
+  List.iter
+    (fun r ->
+      match r.summary with
+      | None -> ()
+      | Some sm ->
+          let tt = totals { r with children_rev = [] } in
+          line
+            {|{"type":"trial_summary","trial":%s,"steps":%d,"predicted":%.9g,"cx_routed":%d,"cx_final":%d,"realized":%d}|}
+            (trial_field r) tt.steps tt.predicted sm.sm_cx_routed sm.sm_cx_final
+            (sm.sm_cx_routed - sm.sm_cx_final))
+    (recorders t);
+  Buffer.contents buf
+
+(* Chrome trace_event JSON (load in Perfetto or about://tracing): each
+   routing step is an instant event on its trial's track, with a "front"
+   counter track showing front-layer size over time.  Timestamps are the
+   recording wall clock, so unlike the JSONL this is nondeterministic. *)
+let to_chrome t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf {|{"traceEvents":[|};
+  let first = ref true in
+  let event fmt =
+    Printf.ksprintf
+      (fun s ->
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        Buffer.add_string buf s)
+      fmt
+  in
+  let t0 =
+    List.fold_left
+      (fun acc r -> List.fold_left (fun acc s -> Float.min acc s.st_time) acc (steps r))
+      infinity (recorders t)
+  in
+  let t0 = if t0 = infinity then 0.0 else t0 in
+  List.iteri
+    (fun tid r ->
+      let tname =
+        match r.trial with
+        | Some k -> Printf.sprintf "trial %d" k
+        | None -> if r.label = "" then "main" else r.label
+      in
+      event
+        {|{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"%s"}}|}
+        tid tname;
+      List.iter
+        (fun s ->
+          let ts = 1e6 *. (s.st_time -. t0) in
+          let c1, c2 = s.st_chosen in
+          event
+            {|{"name":"%s","cat":"routing","ph":"i","s":"t","ts":%.3f,"pid":1,"tid":%d,"args":{"router":"%s","front":%d,"forced":%b,"chosen":"(%d,%d)","chosen_bonus":%.9g,"chosen_bucket":"%s","candidates":%d}}|}
+            (if s.st_forced then "forced-swap" else "swap")
+            ts tid s.st_router s.st_front s.st_forced c1 c2 s.st_chosen_bonus
+            (bucket_name s.st_chosen_bucket)
+            (List.length s.st_candidates);
+          event
+            {|{"name":"front","cat":"routing","ph":"C","ts":%.3f,"pid":1,"tid":%d,"args":{"gates":%d}}|}
+            ts tid s.st_front)
+        (steps r))
+    (recorders t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,131 @@
+(** The routing flight recorder: the router's decision trail as data.
+
+    When a recorder is installed (see {!with_recorder}) every routing step
+    records the two-qubit front-layer size, each candidate SWAP with its
+    [H_basic] / [H_lookahead] components and the savings bucket its bonus
+    drew from ([C_2q] / [C_commute1] / [C_commute2], eq. 1 of the paper),
+    and the chosen SWAP; after the downstream passes run, the per-trial
+    routed-vs-final CNOT counts (the {e realized} savings).  With no
+    recorder installed anywhere in the process, every hook is a single
+    atomic-load-and-branch and the routers behave byte-identically to an
+    unrecorded run.
+
+    Like {!Qobs.Collector}, one recorder exists per logical unit of work
+    (the main pipeline, or one routing trial); the trial engine merges
+    per-trial recorders into the parent in trial order, so {!to_jsonl} is
+    byte-identical for any worker count.  {!to_chrome} emits the same steps
+    as a Chrome [trace_event] file (loadable in Perfetto /
+    [about://tracing]); it uses wall-clock stamps and is therefore
+    nondeterministic. *)
+
+type bucket = No_bucket | C2q | Commute1 | Commute2
+
+val bucket_name : bucket -> string
+(** ["none"], ["c2q"], ["commute1"], ["commute2"]. *)
+
+type cand = {
+  p1 : int;
+  p2 : int;
+  h_basic : float;  (** front-layer term of eq. 1, bonus already applied *)
+  h_lookahead : float;  (** extended-layer term of eq. 2 *)
+  h : float;  (** decayed total the router compared *)
+  bonus : float;  (** estimated CNOT savings of this SWAP *)
+}
+
+type candidate = { cd : cand; cd_bucket : bucket }
+
+type step = {
+  st_seq : int;
+  st_router : string;  (** innermost {!in_router} label ("" if none) *)
+  st_front : int;  (** two-qubit front-layer size *)
+  st_forced : bool;  (** emitted by the stall-escape valve, not scored *)
+  st_candidates : candidate list;  (** sorted by [(p1, p2)] *)
+  st_chosen : int * int;
+  st_chosen_bonus : float;
+  st_chosen_bucket : bucket;
+  st_time : float;  (** wall clock at record time; Chrome export only *)
+}
+
+type summary = { sm_cx_routed : int; sm_cx_final : int }
+
+type t
+
+val create : ?trial:int -> ?label:string -> unit -> t
+val trial : t -> int option
+val label : t -> string
+val steps : t -> step list
+(** Recorded steps in order. *)
+
+val summary : t -> summary option
+val add_child : t -> t -> unit
+(** Call from the joining domain only, in trial order. *)
+
+val children : t -> t list
+
+val with_recorder : t -> (unit -> 'a) -> 'a
+(** Install on the calling domain for the duration of [f]. *)
+
+val current : unit -> t option
+val active : unit -> bool
+(** One atomic load when no recorder is installed process-wide. *)
+
+val without : (unit -> 'a) -> 'a
+(** Suspend recording for the duration of [f] (the layout search uses this
+    so only the final routing pass lands in the flight record). *)
+
+val in_router : string -> (unit -> 'a) -> 'a
+(** Label steps recorded during [f] with the given router name. *)
+
+(* {2 Hooks (no-ops without an installed recorder)} *)
+
+val note_bucket : p1:int -> p2:int -> bucket -> unit
+(** Called by the cost model while scoring the candidate [(p1, p2)]:
+    remembers which savings bucket its bonus drew from until the next
+    {!record_step} consumes it. *)
+
+val record_step :
+  front:int ->
+  ?forced:bool ->
+  candidates:cand list ->
+  chosen:int * int ->
+  chosen_bonus:float ->
+  unit ->
+  unit
+
+val record_result : cx_routed:int -> cx_final:int -> unit
+(** Called once per trial after the downstream passes run. *)
+
+(* {2 Aggregation and export} *)
+
+type totals = {
+  steps : int;
+  candidates : int;
+  forced : int;
+  cand_c2q : int;  (** candidates whose bonus drew from [C_2q]... *)
+  cand_commute1 : int;
+  cand_commute2 : int;
+  chosen_c2q : int;  (** ...and chosen SWAPs that did *)
+  chosen_commute1 : int;
+  chosen_commute2 : int;
+  predicted : float;  (** sum of chosen bonuses (eq. 1's prediction) *)
+  cx_routed : int;
+  cx_final : int;
+  realized : int;  (** [cx_routed - cx_final], summed over summaries *)
+  trials_summarized : int;
+}
+
+val totals : t -> totals
+(** Aggregated over this recorder and its children. *)
+
+val schema_version : int
+
+val to_jsonl : t -> string
+(** One [recorder_meta] line, then one [step] line per step (this recorder
+    first, then each child in merge order), then [trial_summary] lines.  A
+    pure function of the routing computation: byte-identical across runs
+    and worker counts for a fixed seed. *)
+
+val to_chrome : t -> string
+(** Chrome [trace_event] JSON (one instant event per step plus a
+    front-layer-size counter track, one track per trial); nondeterministic
+    timestamps. *)

@@ -144,6 +144,70 @@ let contains ~affix s =
   let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
   m = 0 || go 0
 
+(* ---------- histograms ---------- *)
+
+let samples seed n =
+  let state = ref seed in
+  List.init n (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      float_of_int !state /. 1e6)
+
+let hist_of xs =
+  let h = Qobs.Hist.create () in
+  List.iter (Qobs.Hist.observe h) xs;
+  h
+
+let test_hist_merge_associative () =
+  let a = hist_of (samples 1 300)
+  and b = hist_of (samples 2 500)
+  and c = hist_of (samples 3 200) in
+  let ab_c = Qobs.Hist.merge (Qobs.Hist.merge a b) c in
+  let a_bc = Qobs.Hist.merge a (Qobs.Hist.merge b c) in
+  check "merge associative" true (Qobs.Hist.equal ab_c a_bc);
+  check "merge commutative" true
+    (Qobs.Hist.equal (Qobs.Hist.merge a b) (Qobs.Hist.merge b a));
+  checki "counts add" 1000 (Qobs.Hist.count ab_c);
+  check "originals untouched" true (Qobs.Hist.count a = 300 && Qobs.Hist.count b = 500)
+
+let test_hist_percentiles_sane () =
+  let h = hist_of (List.init 1000 (fun i -> float_of_int (i + 1))) in
+  let p50 = Qobs.Hist.percentile h 50.0 in
+  let p99 = Qobs.Hist.percentile h 99.0 in
+  (* log-bucketed: the representative is within one bucket ratio (2^1/4) *)
+  check "p50 within a bucket of 500" true (p50 >= 500.0 /. 1.2 && p50 <= 500.0 *. 1.2);
+  check "p99 within a bucket of 990" true (p99 >= 990.0 /. 1.2 && p99 <= 990.0 *. 1.2);
+  check "p0 clamped to min" true (Qobs.Hist.percentile h 0.0 >= 1.0);
+  check "p100 clamped to max" true (Qobs.Hist.percentile h 100.0 <= 1000.0);
+  check "monotone" true (p50 <= p99)
+
+(* the engine histograms only fire under a flight recorder; with one
+   installed, the exported trace (spans + counters + hist lines) must stay
+   byte-identical whatever the worker count *)
+let transpile_recorded ?(workers = 1) () =
+  let c = Qbench.Generators.qft 6 in
+  let coupling = Topology.Devices.linear 8 in
+  let params = { Qroute.Engine.default_params with seed = 11 } in
+  let root = Qobs.Collector.create ~label:"main" () in
+  let rec_root = Qobs.Recorder.create ~label:"main" () in
+  let r =
+    Qobs.with_collector root (fun () ->
+        Qobs.Recorder.with_recorder rec_root (fun () ->
+            Qroute.Pipeline.transpile ~params ~trials:4 ~workers
+              ~router:(Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config)
+              coupling c))
+  in
+  (root, rec_root, r)
+
+let test_hists_identical_across_workers () =
+  let jsonl workers =
+    let root, _, _ = transpile_recorded ~workers () in
+    Qobs.Trace.to_jsonl (Qobs.Trace.of_root root)
+  in
+  let a = jsonl 1 and b = jsonl 4 in
+  check "hist lines present under recorder" true (contains ~affix:"\"type\":\"hist\"" a);
+  check "engine.candidate_h exported" true (contains ~affix:"engine.candidate_h" a);
+  check "trace + hists identical, workers 1 vs 4" true (String.equal a b)
+
 let test_savings_gauges_exported () =
   let root, _ = transpile_traced () in
   let jsonl = Qobs.Trace.to_jsonl (Qobs.Trace.of_root root) in
@@ -177,6 +241,14 @@ let () =
             test_trace_identical_across_workers;
           Alcotest.test_case "children merged in trial order" `Quick
             test_trial_children_in_order;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "merge associative and commutative" `Quick
+            test_hist_merge_associative;
+          Alcotest.test_case "percentiles sane" `Quick test_hist_percentiles_sane;
+          Alcotest.test_case "hists identical workers 1 vs 4" `Quick
+            test_hists_identical_across_workers;
         ] );
       ( "export",
         [ Alcotest.test_case "savings gauges exported" `Quick test_savings_gauges_exported ]
