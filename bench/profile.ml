@@ -11,6 +11,8 @@ let routers =
   ]
 
 let run ?(seed = 11) ?(trials = 4) () =
+  (* opt into the per-step scoring-time histogram for the summaries *)
+  Qobs.set_timing true;
   let coupling = Topology.Devices.montreal in
   let params = { Qroute.Engine.default_params with seed } in
   let benches = [ "VQE 8-qubits"; "QFT 15-qubits"; "Adder 10-qubits" ] in

@@ -5,7 +5,7 @@
    --regress` exits non-zero on any breach, which is what the CI
    bench-regress job keys off. *)
 
-let schema_version = 1
+let schema_version = 2
 let kind = "nassc-bench-regress"
 
 let routers =
@@ -32,8 +32,29 @@ type row = {
   n_swaps : int;
   wall_s : float;
   cpu_s : float;
+  route_wall_s : float;  (** summed [trial.route] span wall time *)
+  score_cache_hits : int;
+  weyl_cache_hits : int;
+  weyl_cache_misses : int;
   rec_totals : Qobs.Recorder.totals;
 }
+
+(* total wall time spent under spans named [name], across the root
+   collector and every merged per-trial child *)
+let span_wall root name =
+  let rec sum c =
+    List.fold_left
+      (fun acc (s : Qobs.Collector.span_rec) ->
+        if s.sp_name = name then acc +. s.sp_wall else acc)
+      (List.fold_left (fun acc ch -> acc +. sum ch) 0.0 (Qobs.Collector.children c))
+      (Qobs.Collector.spans c)
+  in
+  sum root
+
+let counter_total trace name =
+  match List.assoc_opt name (Qobs.Trace.counters_total trace) with
+  | Some v -> v
+  | None -> 0
 
 let run_suite ~quick ~seed ~trials =
   let coupling = Topology.Devices.montreal in
@@ -46,12 +67,16 @@ let run_suite ~quick ~seed ~trials =
         (fun (rname, router) ->
           Printf.printf "  %-22s %-6s ...%!" e.name rname;
           let rec_root = Qobs.Recorder.create ~label:"regress" () in
+          let obs_root = Qobs.Collector.create ~label:"regress" () in
           let r =
-            Qobs.Recorder.with_recorder rec_root (fun () ->
-                Qroute.Pipeline.transpile ~params ~trials ~router coupling circuit)
+            Qobs.with_collector obs_root (fun () ->
+                Qobs.Recorder.with_recorder rec_root (fun () ->
+                    Qroute.Pipeline.transpile ~params ~trials ~router coupling circuit))
           in
-          Printf.printf " cx=%d depth=%d swaps=%d (%.2fs)\n%!" r.cx_total r.depth
-            r.n_swaps r.transpile_time;
+          let route_wall_s = span_wall obs_root "trial.route" in
+          let trace = Qobs.Trace.of_root obs_root in
+          Printf.printf " cx=%d depth=%d swaps=%d (%.2fs, route %.3fs)\n%!" r.cx_total
+            r.depth r.n_swaps r.transpile_time route_wall_s;
           {
             name = e.name;
             router = rname;
@@ -61,6 +86,10 @@ let run_suite ~quick ~seed ~trials =
             n_swaps = r.n_swaps;
             wall_s = r.transpile_time;
             cpu_s = r.cpu_time;
+            route_wall_s;
+            score_cache_hits = counter_total trace "engine.score_cache_hits";
+            weyl_cache_hits = counter_total trace "nassc.weyl_cache_hits";
+            weyl_cache_misses = counter_total trace "nassc.weyl_cache_misses";
             rec_totals = Qobs.Recorder.totals rec_root;
           })
         routers)
@@ -94,12 +123,15 @@ let snapshot ~suite ~seed ~trials rows =
         (Printf.sprintf
            "    {\"name\": \"%s\", \"router\": \"%s\", \"n_qubits\": %d, \"cx_total\": \
             %d, \"depth\": %d, \"n_swaps\": %d, \"wall_s\": %.4f, \"cpu_s\": %.4f, \
+            \"route_wall_s\": %.4f, \"score_cache_hits\": %d, \"weyl_cache_hits\": %d, \
+            \"weyl_cache_misses\": %d, \
             \"recorder\": {\"steps\": %d, \"candidates\": %d, \"forced\": %d, \
             \"predicted_savings\": %.1f, \"realized_savings\": %d, \"chosen_c2q\": %d, \
             \"chosen_commute1\": %d, \"chosen_commute2\": %d}}%s\n"
            (json_escape r.name) r.router r.n_qubits r.cx_total r.depth r.n_swaps r.wall_s
-           r.cpu_s t.Qobs.Recorder.steps t.candidates t.forced t.predicted t.realized
-           t.chosen_c2q t.chosen_commute1 t.chosen_commute2
+           r.cpu_s r.route_wall_s r.score_cache_hits r.weyl_cache_hits
+           r.weyl_cache_misses t.Qobs.Recorder.steps t.candidates t.forced t.predicted
+           t.realized t.chosen_c2q t.chosen_commute1 t.chosen_commute2
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ]\n}\n";

@@ -1,0 +1,135 @@
+(* Candidate-scoring microbenchmark (`bench --only score`): throughput of
+   the routing hot loop (steps/s, candidates/s), delta-scorer and Weyl-cache
+   hit counts, and the per-step scoring-time percentiles (timing opt-in via
+   Qobs.set_timing).  Emits a schema-versioned BENCH_<git-sha>.json so the
+   scoring-loop perf trajectory is tracked per commit alongside the regress
+   snapshots. *)
+
+let schema_version = 1
+let kind = "nassc-score-microbench"
+
+let routers =
+  [
+    ("sabre", Qroute.Pipeline.Sabre_router);
+    ("nassc", Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config);
+  ]
+
+let benches = [ "VQE 8-qubits"; "Adder 10-qubits"; "QFT 15-qubits" ]
+
+type row = {
+  name : string;
+  router : string;
+  steps : int;
+  candidates : int;
+  route_wall_s : float;
+  steps_per_s : float;
+  candidates_per_s : float;
+  score_cache_hits : int;
+  weyl_hits : int;
+  weyl_misses : int;
+  score_ms_p50 : float;
+  score_ms_p90 : float;
+  score_ms_p99 : float;
+}
+
+let counter_total trace n =
+  match List.assoc_opt n (Qobs.Trace.counters_total trace) with Some v -> v | None -> 0
+
+let run ?(seed = 11) ?out () =
+  (* per-step scoring timestamps are off by default to keep traces
+     deterministic; this harness is exactly the opt-in consumer *)
+  Qobs.set_timing true;
+  let coupling = Topology.Devices.montreal in
+  let params = { Qroute.Engine.default_params with seed } in
+  Printf.printf "=== score microbenchmark (montreal, seed %d, trials 1) ===\n%!" seed;
+  let rows =
+    List.concat_map
+      (fun bname ->
+        let entry = Qbench.Suite.find bname in
+        let circuit = entry.build () in
+        List.map
+          (fun (rname, router) ->
+            let rec_root = Qobs.Recorder.create ~label:"score" () in
+            let obs_root = Qobs.Collector.create ~label:"score" () in
+            ignore
+              (Qobs.with_collector obs_root (fun () ->
+                   Qobs.Recorder.with_recorder rec_root (fun () ->
+                       Qroute.Pipeline.transpile ~params ~trials:1 ~router coupling
+                         circuit)));
+            let route_wall_s = Regress.span_wall obs_root "trial.route" in
+            let trace = Qobs.Trace.of_root obs_root in
+            let totals = Qobs.Recorder.totals rec_root in
+            let steps = totals.Qobs.Recorder.steps in
+            let candidates = counter_total trace "engine.swap_candidates_scored" in
+            let per_s n =
+              if route_wall_s > 0.0 then float_of_int n /. route_wall_s else 0.0
+            in
+            let p50, p90, p99 =
+              match
+                List.assoc_opt "engine.step_score_ms"
+                  (Qobs.Trace.histograms_total trace)
+              with
+              | Some h when Qobs.Hist.count h > 0 ->
+                  ( Qobs.Hist.percentile h 50.0,
+                    Qobs.Hist.percentile h 90.0,
+                    Qobs.Hist.percentile h 99.0 )
+              | _ -> (0.0, 0.0, 0.0)
+            in
+            let r =
+              {
+                name = bname;
+                router = rname;
+                steps;
+                candidates;
+                route_wall_s;
+                steps_per_s = per_s steps;
+                candidates_per_s = per_s candidates;
+                score_cache_hits = counter_total trace "engine.score_cache_hits";
+                weyl_hits = counter_total trace "nassc.weyl_cache_hits";
+                weyl_misses = counter_total trace "nassc.weyl_cache_misses";
+                score_ms_p50 = p50;
+                score_ms_p90 = p90;
+                score_ms_p99 = p99;
+              }
+            in
+            Printf.printf
+              "  %-16s %-6s %5d steps, %6d cand (%.0f steps/s, %.0f cand/s), \
+               score-cache %d, weyl %d/%d, score ms p50/p90/p99 %.3f/%.3f/%.3f\n\
+               %!"
+              bname rname steps candidates r.steps_per_s r.candidates_per_s
+              r.score_cache_hits r.weyl_hits r.weyl_misses p50 p90 p99;
+            r)
+          routers)
+      benches
+  in
+  Qobs.set_timing false;
+  let out_file =
+    match out with
+    | Some f -> f
+    | None -> Printf.sprintf "BENCH_%s.json" (Regress.git_short_sha ())
+  in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\n  \"schema_version\": %d,\n  \"kind\": \"%s\",\n  \"git_sha\": \"%s\",\n\
+       \  \"seed\": %d,\n  \"topology\": \"montreal\",\n  \"rows\": [\n"
+       schema_version kind (Regress.json_escape (Regress.git_short_sha ())) seed);
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"router\": \"%s\", \"steps\": %d, \"candidates\": \
+            %d, \"route_wall_s\": %.4f, \"steps_per_s\": %.0f, \"candidates_per_s\": \
+            %.0f, \"score_cache_hits\": %d, \"weyl_cache_hits\": %d, \
+            \"weyl_cache_misses\": %d, \"score_ms_p50\": %.4f, \"score_ms_p90\": %.4f, \
+            \"score_ms_p99\": %.4f}%s\n"
+           (Regress.json_escape r.name) r.router r.steps r.candidates r.route_wall_s
+           r.steps_per_s r.candidates_per_s r.score_cache_hits r.weyl_hits r.weyl_misses
+           r.score_ms_p50 r.score_ms_p90 r.score_ms_p99
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out out_file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "snapshot: %s\n%!" out_file

@@ -92,6 +92,10 @@ let write_dest dest s =
    afterwards; `--trace FILE` with the default jsonl format behaves exactly
    as it did before the recorder existed *)
 let with_obs ~trace ~times ~record ~fmt f =
+  (* --trace-times also opts into the per-step scoring-time histogram
+     (engine.step_score_ms); without it the engine never reads the clock on
+     the hot path and traces stay deterministic *)
+  Qobs.set_timing times;
   let collector =
     match trace with None -> None | Some _ -> Some (Qobs.Collector.create ~label:"main" ())
   in

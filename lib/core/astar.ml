@@ -46,7 +46,8 @@ let route ?(params = default_params) coupling circuit =
       if Gate.arity i.gate > 2 && not (Gate.is_directive i.gate) then
         invalid_arg "Astar.route: lower gates to <=2 qubits before routing")
     (Qcircuit.Circuit.instrs circuit);
-  let dist = Coupling.distance_matrix coupling in
+  let dist = Distmat.hops coupling in
+  let d = Distmat.raw dist and dn = Distmat.n dist in
   let rng = Mathkit.Rng.create params.seed in
   let perm = Mathkit.Rng.permutation rng n_phys in
   let l2p = Array.init n_log (fun l -> perm.(l)) in
@@ -54,8 +55,12 @@ let route ?(params = default_params) coupling circuit =
   let out = ref [] in
   let n_swaps = ref 0 in
   let emit gate qubits = out := { Qcircuit.Circuit.gate; qubits } :: !out in
+  (* hop counts are exact small integers in float, so the A* f-ordering and
+     the = 0.0 goal tests behave exactly as the integer matrix did *)
   let heuristic l2p pairs =
-    List.fold_left (fun acc (a, b) -> acc + (dist.(l2p.(a)).(l2p.(b)) - 1)) 0 pairs
+    List.fold_left
+      (fun acc (a, b) -> acc +. (d.((l2p.(a) * dn) + l2p.(b)) -. 1.0))
+      0.0 pairs
   in
   let apply_swap_arr l2p (p1, p2) =
     (* exchange whichever logical qubits live on p1/p2 *)
@@ -78,10 +83,10 @@ let route ?(params = default_params) coupling circuit =
   in
   let solve_layer pairs =
     (* returns the swap list (in order) making every pair adjacent *)
-    if heuristic l2p pairs = 0 then []
+    if heuristic l2p pairs = 0.0 then []
     else begin
       let module Pq = Set.Make (struct
-        type t = int * int * int (* f, tiebreak, id *)
+        type t = float * int * int (* f, tiebreak, id *)
 
         let compare = compare
       end) in
@@ -93,7 +98,7 @@ let route ?(params = default_params) coupling circuit =
         let h = heuristic st.l2p pairs in
         incr counter;
         Hashtbl.replace states !counter st;
-        queue := Pq.add (st.g + h, !counter, !counter) !queue
+        queue := Pq.add (float_of_int st.g +. h, !counter, !counter) !queue
       in
       push { l2p = Array.copy l2p; swaps_rev = []; g = 0 };
       let expansions = ref 0 in
@@ -107,7 +112,7 @@ let route ?(params = default_params) coupling circuit =
           Hashtbl.replace closed key ();
           incr expansions;
           Qobs.incr c_expansions;
-          if heuristic st.l2p pairs = 0 then result := Some (List.rev st.swaps_rev)
+          if heuristic st.l2p pairs = 0.0 then result := Some (List.rev st.swaps_rev)
           else
             List.iter
               (fun sw ->
@@ -166,7 +171,7 @@ let route ?(params = default_params) coupling circuit =
                 (fun (a, b) ->
                   let l2p' = Array.copy sim in
                   apply_swap_arr l2p' (a, b);
-                  let h = float_of_int (heuristic l2p' pairs) in
+                  let h = heuristic l2p' pairs in
                   { Qobs.Recorder.p1 = a; p2 = b; h_basic = h; h_lookahead = 0.0; h; bonus = 0.0 })
                 (candidate_swaps sim pairs)
             in

@@ -57,10 +57,44 @@ let apply_swap m p1 p2 =
   if l1 >= 0 then m.l2p.(l1) <- p2;
   if l2 >= 0 then m.l2p.(l2) <- p1
 
-type bonus_fn =
-  out_rev:out_op list -> mapping:mapping -> int -> int -> float * (out_op -> unit)
+(* ---- the emitted-op stream ----
 
-let zero_bonus ~out_rev:_ ~mapping:_ _ _ = (0.0, fun _ -> ())
+   [s_rev] is the routed output, newest first (what [route_once] always
+   kept).  [s_wire] additionally indexes the same ops per physical qubit,
+   newest first, each carrying its global emission index.  The bonus hooks
+   walk a bounded window of recent ops on exactly two wires; with the
+   per-wire tails they visit only ops touching those wires and use the
+   emission index to honor the global window bound, instead of filtering
+   the whole stream with [touches]. *)
+
+type stream = {
+  mutable s_rev : out_op list;
+  mutable s_total : int;
+  s_wire : (int * out_op) list array;
+}
+
+let stream_create ~n_phys = { s_rev = []; s_total = 0; s_wire = Array.make n_phys [] }
+
+let stream_push s op =
+  let idx = s.s_total in
+  s.s_rev <- op :: s.s_rev;
+  s.s_total <- idx + 1;
+  List.iter
+    (fun q -> if q >= 0 && q < Array.length s.s_wire then s.s_wire.(q) <- (idx, op) :: s.s_wire.(q))
+    op.op_qubits
+
+let stream_rev s = s.s_rev
+let stream_total s = s.s_total
+let stream_wire s q = s.s_wire.(q)
+
+type bonus_fn =
+  stream:stream -> mapping:mapping -> int -> int -> float * (out_op -> unit)
+
+(* shared constants so the no-bonus paths (every SABRE candidate, and every
+   NASSC candidate that does not advance the front) allocate nothing *)
+let no_action : out_op -> unit = fun _ -> ()
+let no_bonus = (0.0, no_action)
+let zero_bonus ~stream:_ ~mapping:_ _ _ = no_bonus
 
 type result = {
   routed : out_op list;
@@ -84,6 +118,8 @@ let c_h_basic = Qobs.counter "engine.h_basic_evals"
 let c_h_lookahead = Qobs.counter "engine.h_lookahead_evals"
 let c_swaps = Qobs.counter "engine.swaps_emitted"
 let c_force = Qobs.counter "engine.force_progress_escapes"
+let c_score_cache = Qobs.counter "engine.score_cache_hits"
+let c_legacy_dist = Qobs.counter "engine.legacy_distmat_routes"
 let g_predicted = Qobs.gauge "engine.predicted_cnot_savings"
 
 (* score-distribution histograms, fed only while the flight recorder is
@@ -92,7 +128,135 @@ let h_candidate = Qobs.histogram "engine.candidate_h"
 let h_chosen = Qobs.histogram "engine.chosen_h"
 let h_front = Qobs.histogram "engine.front_size"
 
-let two_qubit_front dag tr mapping =
+(* per-step scoring latency; wall clock, so only fed under the explicit
+   Qobs.set_timing opt-in (deterministic traces stay deterministic) *)
+let h_score_time = Qobs.histogram "engine.step_score_ms"
+
+(* ---- incremental candidate scoring ----
+
+   The lookahead heuristic needs, per candidate SWAP (p1, p2), the front
+   and extended distance sums under the exchanged mapping.  Only pairs
+   touching p1 or p2 change, so each step precomputes the unexchanged base
+   sums plus a per-physical-qubit -> pairs index, and each candidate is
+   scored as base + delta over the touching pairs: O(deg) per candidate
+   instead of O(|F| + |E|).
+
+   Seed-compatibility invariant: for the hop metric every distance is a
+   small exact integer, so base + delta is the exact same float the full
+   rescan produced.  For non-integral metrics (eq. 3) the delta-form sum
+   could differ from the rescan in the last ulp; the golden corpus pins
+   the routed outputs for those too.  When a base sum is infinite
+   (disconnected pairs) delta arithmetic would produce NaN, so scoring
+   falls back to the full rescan for that step. *)
+
+module Scoring = struct
+  type scratch = {
+    touch_f : (int * int) list array;
+    touch_e : (int * int) list array;
+    mutable dirty : int list;
+  }
+
+  type t = {
+    d : float array;
+    dn : int;
+    front : (int * int) list;
+    ext : (int * int) list;
+    base_front : float;
+    base_ext : float;
+    finite : bool;  (** both bases finite: delta scoring is valid *)
+    sc : scratch;
+    mutable evals : int;  (** pair distance evaluations since [prepare] *)
+  }
+
+  let make_scratch ~n_phys =
+    {
+      touch_f = Array.make n_phys [];
+      touch_e = Array.make n_phys [];
+      dirty = [];
+    }
+
+  let prepare sc ~dist ~front ~ext =
+    List.iter
+      (fun q ->
+        sc.touch_f.(q) <- [];
+        sc.touch_e.(q) <- [])
+      sc.dirty;
+    sc.dirty <- [];
+    let d = Distmat.raw dist and dn = Distmat.n dist in
+    let mark touch (a, b) =
+      if touch.(a) = [] && sc.touch_f.(a) = [] && sc.touch_e.(a) = [] then
+        sc.dirty <- a :: sc.dirty;
+      touch.(a) <- (a, b) :: touch.(a);
+      if b <> a then begin
+        if touch.(b) = [] && sc.touch_f.(b) = [] && sc.touch_e.(b) = [] then
+          sc.dirty <- b :: sc.dirty;
+        touch.(b) <- (a, b) :: touch.(b)
+      end
+    in
+    (* base sums fold the pair lists in order, exactly as the full rescan
+       did, so the unexchanged sums are bit-identical to the old code's *)
+    let base pairs =
+      List.fold_left (fun acc (a, b) -> acc +. d.((a * dn) + b)) 0.0 pairs
+    in
+    let base_front = base front and base_ext = base ext in
+    List.iter (mark sc.touch_f) front;
+    List.iter (mark sc.touch_e) ext;
+    {
+      d;
+      dn;
+      front;
+      ext;
+      base_front;
+      base_ext;
+      finite = Float.is_finite base_front && Float.is_finite base_ext;
+      sc;
+      evals = 0;
+    }
+
+  let base_front t = t.base_front
+  let base_ext t = t.base_ext
+  let pair_evals t = t.evals
+
+  let[@inline] mapped t p1 p2 a b =
+    let a' = if a = p1 then p2 else if a = p2 then p1 else a in
+    let b' = if b = p1 then p2 else if b = p2 then p1 else b in
+    t.d.((a' * t.dn) + b')
+
+  let full_after t p1 p2 pairs =
+    List.fold_left
+      (fun acc (a, b) ->
+        t.evals <- t.evals + 1;
+        acc +. mapped t p1 p2 a b)
+      0.0 pairs
+
+  (* delta over [touch.(p1)] then the pairs of [touch.(p2)] not already
+     counted (those touching p1 too) *)
+  let delta t touch p1 p2 =
+    let acc = ref 0.0 in
+    List.iter
+      (fun (a, b) ->
+        t.evals <- t.evals + 1;
+        acc := !acc +. (mapped t p1 p2 a b -. t.d.((a * t.dn) + b)))
+      touch.(p1);
+    List.iter
+      (fun (a, b) ->
+        if a <> p1 && b <> p1 then begin
+          t.evals <- t.evals + 1;
+          acc := !acc +. (mapped t p1 p2 a b -. t.d.((a * t.dn) + b))
+        end)
+      touch.(p2);
+    !acc
+
+  let front_after t p1 p2 =
+    if t.finite then t.base_front +. delta t t.sc.touch_f p1 p2
+    else full_after t p1 p2 t.front
+
+  let ext_after t p1 p2 =
+    if t.finite then t.base_ext +. delta t t.sc.touch_e p1 p2
+    else full_after t p1 p2 t.ext
+end
+
+let two_qubit_front_of dag front_ids mapping =
   List.filter_map
     (fun id ->
       let nd = Qcircuit.Dag.node dag id in
@@ -101,13 +265,16 @@ let two_qubit_front dag tr mapping =
         | [ a; b ] -> Some (mapping.l2p.(a), mapping.l2p.(b))
         | _ -> None
       else None)
-    (Qcircuit.Dag.Traversal.front tr)
+    front_ids
 
-let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
+let route_once params coupling ~rng ~dist ~bonus ?dag circuit init_layout =
   Qobs.span "engine.route_once" @@ fun () ->
   let n_phys = Coupling.n_qubits coupling in
   let n_log = Qcircuit.Circuit.n_qubits circuit in
   if n_log > n_phys then invalid_arg "Engine.route_once: circuit larger than device";
+  if Distmat.n dist <> n_phys then
+    invalid_arg "Engine.route_once: distance matrix size does not match device";
+  if Distmat.is_legacy dist then Qobs.incr c_legacy_dist;
   List.iter
     (fun (i : Qcircuit.Circuit.instr) ->
       if Gate.arity i.gate > 2 && not (Gate.is_directive i.gate) then
@@ -115,22 +282,29 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
     (Qcircuit.Circuit.instrs circuit);
   let mapping = mapping_of_layout ~n_phys init_layout in
   let initial_layout = Array.copy mapping.l2p in
-  let dag = Qcircuit.Dag.of_circuit circuit in
+  (* the DAG is a pure function of the circuit, so callers that route the
+     same circuit repeatedly (the layout search) build it once and pass it
+     in; per-pass mutable state lives in the traversal, created below *)
+  let dag = match dag with Some d -> d | None -> Qcircuit.Dag.of_circuit circuit in
   let tr = Qcircuit.Dag.Traversal.create dag in
-  let out_rev = ref [] in
+  let stream = stream_create ~n_phys in
+  let scratch = Scoring.make_scratch ~n_phys in
   let n_swaps = ref 0 in
   let decay = Array.make n_phys 1.0 in
   let stall = ref 0 in
   let emit gate qubits tag =
     let op = { gate; op_qubits = qubits; tag } in
-    out_rev := op :: !out_rev;
+    stream_push stream op;
     op
   in
   let emit_mapped (nd : Qcircuit.Dag.node) =
     ignore (emit nd.gate (List.map (fun q -> mapping.l2p.(q)) nd.qubits) Not_swap)
   in
-  (* execute every currently executable front gate; returns true if any *)
-  let rec drain () =
+  (* execute every currently executable front gate; returns true if any.
+     The first round reuses the caller's front snapshot (the single front
+     computation of this main-loop iteration); recursion re-reads the
+     front only after gates actually retired. *)
+  let rec drain_from front_ids =
     let executable id =
       let nd = Qcircuit.Dag.node dag id in
       match nd.qubits with
@@ -138,7 +312,7 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
           Coupling.connected coupling mapping.l2p.(a) mapping.l2p.(b)
       | _ -> true
     in
-    match List.filter executable (Qcircuit.Dag.Traversal.front tr) with
+    match List.filter executable front_ids with
     | [] -> false
     | ready ->
         List.iter
@@ -146,11 +320,11 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
             emit_mapped (Qcircuit.Dag.node dag id);
             Qcircuit.Dag.Traversal.execute tr id)
           ready;
-        ignore (drain ());
+        ignore (drain_from (Qcircuit.Dag.Traversal.front tr));
         true
   in
-  let apply_best_swap () =
-    let front_pairs = two_qubit_front dag tr mapping in
+  let apply_best_swap front_ids =
+    let front_pairs = two_qubit_front_of dag front_ids mapping in
     let ext_pairs =
       List.filter_map
         (fun id ->
@@ -161,7 +335,9 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
         (Qcircuit.Dag.Traversal.lookahead tr params.ext_size)
     in
     (* candidate swaps: all couplings touching a physical qubit of a front
-       gate *)
+       gate.  Enumeration order (hence the tie-break set fed to Rng.pick)
+       is kept byte-for-byte: same insertions into a same-sized table, same
+       fold. *)
     let candidate_set = Hashtbl.create 32 in
     List.iter
       (fun (pa, pb) ->
@@ -175,32 +351,27 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
           [ pa; pb ])
       front_pairs;
     let candidates = Hashtbl.fold (fun k () acc -> k :: acc) candidate_set [] in
-    let base_front =
-      List.fold_left (fun acc (a, b) -> acc +. dist.(a).(b)) 0.0 front_pairs
-    in
+    let timing = Qobs.timing_enabled () && Qobs.active () in
+    let t0 = if timing then Unix.gettimeofday () else 0.0 in
+    let sc = Scoring.prepare scratch ~dist ~front:front_pairs ~ext:ext_pairs in
+    let base_front = Scoring.base_front sc in
+    let nf = float_of_int (max 1 (List.length front_pairs)) in
+    let ne = float_of_int (max 1 (List.length ext_pairs)) in
     let scored =
       List.map
         (fun (p1, p2) ->
-          let map_through p = if p = p1 then p2 else if p = p2 then p1 else p in
-          let dsum pairs =
-            List.fold_left
-              (fun acc (a, b) -> acc +. dist.(map_through a).(map_through b))
-              0.0 pairs
-          in
-          let nf = float_of_int (max 1 (List.length front_pairs)) in
-          let ne = float_of_int (max 1 (List.length ext_pairs)) in
-          let front_after = dsum front_pairs in
+          let front_after = Scoring.front_after sc p1 p2 in
           (* Optimization bonuses only discriminate between candidates that
              actually advance the front layer; a SWAP that cancels CNOTs but
              moves no qubit closer is still wasted work. *)
           let bonus_v, action =
-            if front_after < base_front -. 1e-9 then bonus ~out_rev:!out_rev ~mapping p1 p2
-            else (0.0, fun _ -> ())
+            if front_after < base_front -. 1e-9 then bonus ~stream ~mapping p1 p2
+            else no_bonus
           in
           let h_basic = ((3.0 *. front_after) -. (params.bonus_weight *. bonus_v)) /. nf in
           let h_ext =
             if ext_pairs = [] then 0.0
-            else params.ext_weight /. ne *. dsum ext_pairs
+            else params.ext_weight /. ne *. Scoring.ext_after sc p1 p2
           in
           let h = (h_basic +. h_ext) *. Float.max decay.(p1) decay.(p2) in
           (h, h_basic, h_ext, bonus_v, (p1, p2), action))
@@ -210,7 +381,11 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
       let n_cand = List.length candidates in
       Qobs.add c_candidates n_cand;
       Qobs.add c_h_basic n_cand;
-      if ext_pairs <> [] then Qobs.add c_h_lookahead n_cand
+      if ext_pairs <> [] then Qobs.add c_h_lookahead n_cand;
+      (* pair evaluations the delta scorer skipped relative to the full
+         rescan of every front/extended pair per candidate *)
+      let full = n_cand * (List.length front_pairs + List.length ext_pairs) in
+      Qobs.add c_score_cache (max 0 (full - Scoring.pair_evals sc))
     end;
     match scored with
     | [] ->
@@ -221,6 +396,8 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
         in
         let best = List.filter (fun (h, _, _, _, _, _) -> h <= best_h +. 1e-12) scored in
         let _, _, _, bonus_v, (p1, p2), action = Rng.pick rng best in
+        if timing then
+          Qobs.observe h_score_time ((Unix.gettimeofday () -. t0) *. 1000.0);
         if Qobs.Recorder.active () then begin
           Qobs.Recorder.record_step
             ~front:(List.length front_pairs)
@@ -254,10 +431,10 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
         decay.(p1) <- decay.(p1) +. params.decay_delta;
         decay.(p2) <- decay.(p2) +. params.decay_delta
   in
-  let force_progress () =
+  let force_progress front_ids =
     (* escape valve: route the first front 2q gate along a shortest path *)
     Qobs.incr c_force;
-    match Qcircuit.Dag.Traversal.front tr with
+    match front_ids with
     | [] -> ()
     | id :: _ -> begin
         let nd = Qcircuit.Dag.node dag id in
@@ -266,7 +443,8 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
             let pa = mapping.l2p.(a) and pb = mapping.l2p.(b) in
             let path = Coupling.shortest_path coupling pa pb in
             let front_n =
-              if Qobs.Recorder.active () then List.length (two_qubit_front dag tr mapping)
+              if Qobs.Recorder.active () then
+                List.length (two_qubit_front_of dag front_ids mapping)
               else 0
             in
             let rec walk = function
@@ -297,23 +475,27 @@ let route_once params coupling ~rng ~dist ~bonus circuit init_layout =
       end
   in
   while not (Qcircuit.Dag.Traversal.finished tr) do
-    if drain () then begin
+    (* the single front snapshot of this iteration: drain tries it first,
+       and on a stuck front the very same ids feed candidate generation or
+       the escape valve (they cannot have changed: nothing retired) *)
+    let front_ids = Qcircuit.Dag.Traversal.front tr in
+    if drain_from front_ids then begin
       stall := 0;
       Array.fill decay 0 n_phys 1.0
     end
     else begin
       if !stall >= params.stall_limit then begin
-        force_progress ();
+        force_progress front_ids;
         stall := 0
       end
       else begin
-        apply_best_swap ();
+        apply_best_swap front_ids;
         incr stall
       end
     end
   done;
   {
-    routed = List.rev !out_rev;
+    routed = List.rev stream.s_rev;
     initial_layout;
     final_layout = Array.copy mapping.l2p;
     n_swaps = !n_swaps;
@@ -326,7 +508,7 @@ let reverse_circuit c =
           (fun (i : Qcircuit.Circuit.instr) -> i.gate <> Gate.Measure)
           (Qcircuit.Circuit.instrs c)))
 
-let find_layout params coupling ~rng ~dist ~bonus circuit =
+let find_layout params coupling ~rng ~dist ~bonus ?dag circuit =
   Qobs.span "engine.find_layout" @@ fun () ->
   (* The forward/backward layout search routes the circuit repeatedly; only
      the final routing pass belongs in the flight record. *)
@@ -337,12 +519,18 @@ let find_layout params coupling ~rng ~dist ~bonus circuit =
   let perm = Rng.permutation rng n_phys in
   let layout = ref (Array.init n_log (fun l -> perm.(l))) in
   let fwd = circuit and bwd = reverse_circuit circuit in
+  let fwd_dag = match dag with Some d -> d | None -> Qcircuit.Dag.of_circuit fwd in
+  let bwd_dag = Qcircuit.Dag.of_circuit bwd in
   for _ = 1 to params.iterations do
     (* each refinement pass replays a fresh route stream, matching the
        historical behavior (and SABRE's, where every pass is seeded alike) *)
-    let r1 = route_once params coupling ~rng:(route_rng params) ~dist ~bonus fwd !layout in
+    let r1 =
+      route_once params coupling ~rng:(route_rng params) ~dist ~bonus ~dag:fwd_dag fwd
+        !layout
+    in
     let r2 =
-      route_once params coupling ~rng:(route_rng params) ~dist ~bonus bwd r1.final_layout
+      route_once params coupling ~rng:(route_rng params) ~dist ~bonus ~dag:bwd_dag bwd
+        r1.final_layout
     in
     layout := r2.final_layout
   done;

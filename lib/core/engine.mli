@@ -51,13 +51,40 @@ val mapping_of_layout : n_phys:int -> int array -> mapping
 (** [mapping_of_layout ~n_phys l2p] builds the two-way mapping; physical
     qubits not in the image hold no logical qubit ([p2l] = -1). *)
 
+type stream
+(** The emitted-op stream: the routed ops newest-first plus a per-physical-
+    qubit index of the same ops (each with its global emission index).
+    Bonus hooks walk a bounded window of recent ops on two wires; the
+    per-wire tails let them visit only ops touching those wires while the
+    emission indices enforce the global window bound. *)
+
+val stream_create : n_phys:int -> stream
+val stream_push : stream -> out_op -> unit
+(** Append an op (it becomes the newest on its wires).  [route_once] emits
+    through this; exposed so tests can build streams directly. *)
+
+val stream_rev : stream -> out_op list
+(** All emitted ops, newest first (the classic [out_rev]). *)
+
+val stream_total : stream -> int
+(** Number of ops emitted so far; the newest op has index [total - 1]. *)
+
+val stream_wire : stream -> int -> (int * out_op) list
+(** Ops touching a physical qubit, newest first, with emission indices. *)
+
 type bonus_fn =
-  out_rev:out_op list -> mapping:mapping -> int -> int -> float * (out_op -> unit)
-(** [bonus ~out_rev ~mapping p1 p2] scores the candidate SWAP on physical
+  stream:stream -> mapping:mapping -> int -> int -> float * (out_op -> unit)
+(** [bonus ~stream ~mapping p1 p2] scores the candidate SWAP on physical
     qubits [(p1, p2)]: returns the estimated CNOT reduction and a callback
     run on the emitted SWAP op if this candidate wins (used for tagging). *)
 
 val zero_bonus : bonus_fn
+
+val no_action : out_op -> unit
+(** Shared no-op winner callback (allocation-free). *)
+
+val no_bonus : float * (out_op -> unit)
+(** [(0.0, no_action)], the shared "no savings" bonus result. *)
 
 type result = {
   routed : out_op list;  (** in circuit order *)
@@ -76,12 +103,53 @@ val layout_rng : params -> Mathkit.Rng.t
 (** The canonical layout-permutation stream: [Rng.create (params.seed +
     7919)], as [find_layout] historically used. *)
 
+module Scoring : sig
+  (** The incremental candidate scorer (exposed for equivalence tests).
+
+      Per routing step, {!prepare} computes the front/extended distance
+      sums once plus a per-physical-qubit -> pairs index; {!front_after} /
+      {!ext_after} then score a candidate SWAP [(p1, p2)] by adjusting only
+      the pairs touching [p1] or [p2] — O(deg) instead of O(|F| + |E|).
+      For integral (hop) metrics the result is bit-identical to a full
+      rescan; for non-integral metrics it agrees within accumulated ulps
+      (the engine's 1e-12 tie tolerance absorbs this).  Infinite base sums
+      (disconnected pairs) fall back to the full rescan internally. *)
+
+  type scratch
+  (** Reusable per-[route_once] workspace (the qubit -> pairs index). *)
+
+  type t
+  (** One prepared step: base sums + index over a fixed front/ext set. *)
+
+  val make_scratch : n_phys:int -> scratch
+  val prepare :
+    scratch ->
+    dist:Topology.Distmat.t ->
+    front:(int * int) list ->
+    ext:(int * int) list ->
+    t
+
+  val base_front : t -> float
+  (** Sum of [D.(a).(b)] over the front pairs under the current mapping. *)
+
+  val base_ext : t -> float
+  val front_after : t -> int -> int -> float
+  (** [front_after t p1 p2]: the front sum if [(p1, p2)] were swapped. *)
+
+  val ext_after : t -> int -> int -> float
+
+  val pair_evals : t -> int
+  (** Pair-distance evaluations performed since [prepare] — what the
+      [engine.score_cache_hits] counter is computed from. *)
+end
+
 val route_once :
   params ->
   Topology.Coupling.t ->
   rng:Mathkit.Rng.t ->
-  dist:float array array ->
+  dist:Topology.Distmat.t ->
   bonus:bonus_fn ->
+  ?dag:Qcircuit.Dag.t ->
   Qcircuit.Circuit.t ->
   int array ->
   result
@@ -89,7 +157,9 @@ val route_once :
     All tie-breaking randomness is drawn from [rng], which the caller owns;
     pass {!route_rng} for the canonical seeded stream, or an independent
     per-trial stream for multi-trial search.  The input circuit must contain
-    only <=2-qubit gates and directives.
+    only <=2-qubit gates and directives.  [dag] must be the DAG of
+    [circuit] when given (the DAG is a pure function of the circuit, so
+    callers routing the same circuit repeatedly build it once).
     @raise Invalid_argument otherwise, or when the layout is unusable.
     @raise Routing_stuck when a front gate has no swap candidates. *)
 
@@ -97,8 +167,9 @@ val find_layout :
   params ->
   Topology.Coupling.t ->
   rng:Mathkit.Rng.t ->
-  dist:float array array ->
+  dist:Topology.Distmat.t ->
   bonus:bonus_fn ->
+  ?dag:Qcircuit.Dag.t ->
   Qcircuit.Circuit.t ->
   int array
 (** Random initial layout refined by reverse-traversal rounds (the paper

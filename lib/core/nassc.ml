@@ -24,40 +24,106 @@ let c_walks = Qobs.counter "nassc.commute_walks"
 let c_commute1 = Qobs.counter "nassc.commute1_hits"
 let c_commute2 = Qobs.counter "nassc.commute2_hits"
 let c_oriented = Qobs.counter "nassc.oriented_swaps_emitted"
+let c_weyl_hits = Qobs.counter "nassc.weyl_cache_hits"
+let c_weyl_misses = Qobs.counter "nassc.weyl_cache_misses"
 
-let touches qs (op : Engine.out_op) = List.exists (fun q -> List.mem q op.op_qubits) qs
+(* ---- merged per-wire window walk ----
+
+   Both bonus scans read a bounded window of recently emitted ops and only
+   ever act on ops touching the candidate pair.  The stream's per-wire
+   tails give exactly those ops; ops on both wires carry the same emission
+   index and are deduplicated by the merge.  The historical window bound
+   counted *all* ops (touching or not): an op is inside the window of size
+   [limit] iff its emission index is >= total - limit, which the indices
+   let us enforce without ever visiting the skipped ops. *)
+
+let next_on_pair w1 w2 =
+  match (w1, w2) with
+  | [], [] -> None
+  | (h1 :: t1 : (int * Engine.out_op) list), [] -> Some (h1, t1, [])
+  | [], h2 :: t2 -> Some (h2, [], t2)
+  | ((i1, _) as h1) :: t1, ((i2, _) as h2) :: t2 ->
+      if i1 = i2 then Some (h1, t1, t2)
+      else if i1 > i2 then Some (h1, t1, w2)
+      else Some (h2, w1, t2)
+
+(* ---- the memoized Weyl-cost cache ----
+
+   [c2q_bonus] re-synthesizes the trailing block and runs the Weyl
+   invariant analysis for every candidate; across candidates and steps the
+   same local block recurs constantly.  The cache maps an exact bit-level
+   signature of the block (gates with parameter bits, local wires) to the
+   (before, after) CNOT costs.  Domain-local (no sharing, no locks),
+   bounded (reset at [weyl_cache_cap]), and reset per traced trial by the
+   pipeline so hit/miss counters are deterministic for any worker count.
+   Keys are injective, so caching cannot change any routing decision. *)
+
+let weyl_cache_cap = 4096
+
+let weyl_cache_key : (string, int * int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let reset_weyl_cache () = Hashtbl.reset (Domain.DLS.get weyl_cache_key)
+
+let block_signature ~p1 block =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (op : Engine.out_op) ->
+      Gate.add_signature buf op.gate;
+      List.iter
+        (fun q -> Buffer.add_char buf (if q = p1 then '\000' else '\001'))
+        op.op_qubits;
+      Buffer.add_char buf '\255')
+    block;
+  Buffer.contents buf
 
 (* C_2q: CNOTs the SWAP saves by merging into the trailing two-qubit block
    on (p1, p2).  The trailing block is the run of ops confined to the pair,
-   read from the end of the emitted stream. *)
-let c2q_bonus ~out_rev p1 p2 =
-  let rec collect acc has2q steps = function
-    | [] -> (acc, has2q)
-    | (op : Engine.out_op) :: rest ->
-        if steps <= 0 then (acc, has2q)
-        else if not (touches [ p1; p2 ] op) then collect acc has2q (steps - 1) rest
-        else if Gate.is_one_qubit op.gate then collect (op :: acc) has2q (steps - 1) rest
+   read from the end of the emitted stream through the per-wire tails. *)
+let c2q_bonus ~stream ~scan_limit p1 p2 =
+  let cutoff = Engine.stream_total stream - scan_limit in
+  let rec collect acc has2q w1 w2 =
+    match next_on_pair w1 w2 with
+    | None -> (acc, has2q)
+    | Some ((idx, op), w1', w2') ->
+        if idx < cutoff then (acc, has2q)
+        else if Gate.is_one_qubit op.Engine.gate then collect (op :: acc) has2q w1' w2'
         else if
           Gate.is_two_qubit op.gate
           && List.sort compare op.op_qubits = List.sort compare [ p1; p2 ]
-        then collect (op :: acc) true (steps - 1) rest
+        then collect (op :: acc) true w1' w2'
         else (acc, has2q)
   in
-  let block, has2q = collect [] false 24 out_rev in
+  let block, has2q =
+    collect [] false (Engine.stream_wire stream p1) (Engine.stream_wire stream p2)
+  in
   if not has2q then 0.0
   else begin
-    let local q = if q = p1 then 0 else 1 in
-    let block_u =
-      List.fold_left
-        (fun acc (op : Engine.out_op) ->
-          Mathkit.Mat.mul
-            (Qcircuit.Circuit.embed ~n:2 (Unitary.of_gate op.gate)
-               (List.map local op.op_qubits))
-            acc)
-        (Mathkit.Mat.identity 4) block
+    let key = block_signature ~p1 block in
+    let cache = Domain.DLS.get weyl_cache_key in
+    let before, after =
+      match Hashtbl.find_opt cache key with
+      | Some costs ->
+          Qobs.incr c_weyl_hits;
+          costs
+      | None ->
+          Qobs.incr c_weyl_misses;
+          let local q = if q = p1 then 0 else 1 in
+          let block_u =
+            List.fold_left
+              (fun acc (op : Engine.out_op) ->
+                Mathkit.Mat.mul
+                  (Qcircuit.Circuit.embed ~n:2 (Unitary.of_gate op.gate)
+                     (List.map local op.op_qubits))
+                  acc)
+              (Mathkit.Mat.identity 4) block
+          in
+          let before = Qpasses.Weyl.cnot_cost_fast block_u in
+          let after = Qpasses.Weyl.cnot_cost_fast (Mathkit.Mat.mul swap_unitary block_u) in
+          if Hashtbl.length cache >= weyl_cache_cap then Hashtbl.reset cache;
+          Hashtbl.add cache key (before, after);
+          (before, after)
     in
-    let before = Qpasses.Weyl.cnot_cost_fast block_u in
-    let after = Qpasses.Weyl.cnot_cost_fast (Mathkit.Mat.mul swap_unitary block_u) in
     float_of_int (max 0 (before + 3 - after))
   end
 
@@ -67,17 +133,18 @@ let c2q_bonus ~out_rev p1 p2 =
    every skipped gate must commute with cx(c, t). *)
 type found = Cx_found | Swap_found of Engine.out_op | Nothing
 
-let commute_walk ~scan_limit ~out_rev p1 p2 c t =
+let commute_walk ~scan_limit ~stream p1 p2 c t =
   let cx_ref = (Gate.CX, [ c; t ]) in
-  let rec walk steps contiguous = function
-    | [] -> Nothing
-    | (op : Engine.out_op) :: rest ->
-        if steps <= 0 then Nothing
-        else if not (touches [ p1; p2 ] op) then walk (steps - 1) contiguous rest
-        else if Gate.is_one_qubit op.gate then
-          if contiguous then walk (steps - 1) true rest
+  let cutoff = Engine.stream_total stream - scan_limit in
+  let rec walk contiguous w1 w2 =
+    match next_on_pair w1 w2 with
+    | None -> Nothing
+    | Some ((idx, op), w1', w2') ->
+        if idx < cutoff then Nothing
+        else if Gate.is_one_qubit op.Engine.gate then
+          if contiguous then walk true w1' w2'
           else if Qpasses.Commutation.commute (op.gate, op.op_qubits) cx_ref then
-            walk (steps - 1) false rest
+            walk false w1' w2'
           else Nothing
         else if Gate.is_directive op.gate then Nothing
         else if List.sort compare op.op_qubits = List.sort compare [ p1; p2 ] then begin
@@ -87,10 +154,10 @@ let commute_walk ~scan_limit ~out_rev p1 p2 c t =
           | _ -> Nothing
         end
         else if Qpasses.Commutation.commute (op.gate, op.op_qubits) cx_ref then
-          walk (steps - 1) false rest
+          walk false w1' w2'
         else Nothing
   in
-  walk scan_limit true out_rev
+  walk true (Engine.stream_wire stream p1) (Engine.stream_wire stream p2)
 
 let orientation_tag_compatible (op : Engine.out_op) c t =
   match op.tag with
@@ -98,13 +165,13 @@ let orientation_tag_compatible (op : Engine.out_op) c t =
   | Engine.Swap_orient (c', t') -> c = c' && t = t'
   | Engine.Not_swap -> false
 
-let commute_bonus cfg ~out_rev p1 p2 =
+let commute_bonus cfg ~stream p1 p2 =
   let tag_if_enabled (op : Engine.out_op) c t =
     if cfg.orient_swaps then op.tag <- Engine.Swap_orient (c, t)
   in
   let try_orientation (c, t) =
     Qobs.incr c_walks;
-    match commute_walk ~scan_limit:cfg.scan_limit ~out_rev p1 p2 c t with
+    match commute_walk ~scan_limit:cfg.scan_limit ~stream p1 p2 c t with
     | Cx_found when cfg.enable_commute1 ->
         Qobs.incr c_commute1;
         Some
@@ -127,24 +194,24 @@ let commute_bonus cfg ~out_rev p1 p2 =
   | None -> try_orientation (p2, p1)
 
 let bonus cfg : Engine.bonus_fn =
- fun ~out_rev ~mapping:_ p1 p2 ->
+ fun ~stream ~mapping:_ p1 p2 ->
   let c2q =
     if cfg.enable_2q then begin
       Qobs.incr c_c2q;
-      c2q_bonus ~out_rev p1 p2
+      c2q_bonus ~stream ~scan_limit:cfg.scan_limit p1 p2
     end
     else 0.0
   in
   let note kind =
     if Qobs.Recorder.active () then Qobs.Recorder.note_bucket ~p1 ~p2 kind
   in
-  match commute_bonus cfg ~out_rev p1 p2 with
+  match commute_bonus cfg ~stream p1 p2 with
   | Some (c_comm, kind, action) when c_comm >= c2q ->
       note kind;
       (c_comm, action)
   | Some _ | None ->
       if c2q > 0.0 then note Qobs.Recorder.C2q;
-      (c2q, fun _ -> ())
+      if c2q = 0.0 then Engine.no_bonus else (c2q, Engine.no_action)
 
 (* ---- optimization-aware SWAP decomposition ---- *)
 
@@ -193,15 +260,16 @@ let route ?(params = Engine.default_params) ?(config = default_config) ?dist cou
   Qobs.Recorder.in_router "nassc" @@ fun () ->
   let dist = match dist with Some d -> d | None -> Sabre.hop_distance coupling in
   let b = bonus config in
+  let dag = Qcircuit.Dag.of_circuit circuit in
   (* layout search uses the plain heuristic (same mapping algorithm as
      SABRE, Section IV-A) *)
   let layout =
     Engine.find_layout params coupling ~rng:(Engine.layout_rng params) ~dist
-      ~bonus:Engine.zero_bonus circuit
+      ~bonus:Engine.zero_bonus ~dag circuit
   in
   let r =
-    Engine.route_once params coupling ~rng:(Engine.route_rng params) ~dist ~bonus:b circuit
-      layout
+    Engine.route_once params coupling ~rng:(Engine.route_rng params) ~dist ~bonus:b ~dag
+      circuit layout
   in
   let instrs = finalize r.routed in
   {

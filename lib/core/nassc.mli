@@ -24,16 +24,25 @@ type config = {
       (** apply the optimization-aware SWAP decomposition (Section IV-E);
           disabling it is the ablation that keeps the cost model but uses
           the fixed decomposition template *)
-  scan_limit : int;  (** commute-set search bound; the paper uses 20 *)
+  scan_limit : int;
+      (** emitted-op window bound for both bonus scans (the C_2q trailing
+          block and the commute-set search); the paper uses 20 *)
 }
 
 val default_config : config
 (** All optimizations on (the paper's choice, Section IV-F). *)
 
+val reset_weyl_cache : unit -> unit
+(** Clear this domain's memoized Weyl-cost cache (trailing-block signature
+    -> (before, after) CNOT costs).  The pipeline resets it per traced
+    trial so the [nassc.weyl_cache_{hits,misses}] counters are a pure
+    function of the trial, whatever domain it lands on.  Caching never
+    affects routing decisions — keys are exact bit-level signatures. *)
+
 val route :
   ?params:Engine.params ->
   ?config:config ->
-  ?dist:float array array ->
+  ?dist:Topology.Distmat.t ->
   Topology.Coupling.t ->
   Qcircuit.Circuit.t ->
   Sabre.result

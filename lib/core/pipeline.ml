@@ -73,8 +73,8 @@ let post_optimize c =
 
 let noise_dist calibration coupling =
   match calibration with
-  | Some cal -> Topology.Calibration.noise_distance_matrix cal
-  | None -> Topology.Calibration.noise_distance_matrix (Topology.Calibration.generate coupling)
+  | Some cal -> Topology.Calibration.noise_distmat cal
+  | None -> Topology.Calibration.noise_distmat (Topology.Calibration.generate coupling)
 
 (* per-trial outcome gauges; recorded on the trial's own collector *)
 let g_cx = Qobs.gauge "trial.cx_total"
@@ -87,10 +87,13 @@ let transpile ?(params = Engine.default_params) ?calibration ?(trials = 1) ?work
     coupling circuit =
   if trials < 1 then invalid_arg "Pipeline.transpile: trials must be >= 1";
   Qobs.span "pipeline.transpile" @@ fun () ->
-  (* traced runs start from an empty commutation cache so the cache counters
-     (and hence the whole trace) are a pure function of this transpile call,
-     not of whatever ran earlier in the process *)
-  if Qobs.active () then Qpasses.Commutation.reset_cache ();
+  (* traced runs start from empty commutation and Weyl-cost caches so the
+     cache counters (and hence the whole trace) are a pure function of this
+     transpile call, not of whatever ran earlier in the process *)
+  if Qobs.active () then begin
+    Qpasses.Commutation.reset_cache ();
+    Nassc.reset_weyl_cache ()
+  end;
   let wall0 = Unix.gettimeofday () in
   let cpu0 = Sys.time () in
   (* shared read-only inputs, computed once before the fan-out: the
@@ -134,9 +137,12 @@ let transpile ?(params = Engine.default_params) ?calibration ?(trials = 1) ?work
       ~measure:(fun (final, n_swaps, _) ->
         (Qcircuit.Circuit.cx_count final, Qcircuit.Circuit.depth final, n_swaps))
       (fun ~trial:_ ~seed ->
-        (* fresh per-trial cache: hit/miss counts become a pure function of
+        (* fresh per-trial caches: hit/miss counts become a pure function of
            this trial's work, whatever domain it lands on *)
-        if Qobs.active () then Qpasses.Commutation.reset_cache ();
+        if Qobs.active () then begin
+          Qpasses.Commutation.reset_cache ();
+          Nassc.reset_weyl_cache ()
+        end;
         let routed, n_swaps, layouts =
           Qobs.span "trial.route" (fun () -> route_with { params with Engine.seed })
         in

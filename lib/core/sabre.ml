@@ -8,9 +8,7 @@ type result = {
   n_swaps : int;
 }
 
-let hop_distance coupling =
-  let d = Coupling.distance_matrix coupling in
-  Array.map (Array.map (fun x -> if x = max_int then infinity else float_of_int x)) d
+let hop_distance = Distmat.hops
 
 let c_decomposed = Qobs.counter "sabre.swaps_decomposed"
 
@@ -19,12 +17,14 @@ let route ?(params = Engine.default_params) ?dist coupling circuit =
   Qobs.Recorder.in_router "sabre" @@ fun () ->
   let dist = match dist with Some d -> d | None -> hop_distance coupling in
   let bonus = Engine.zero_bonus in
+  let dag = Qcircuit.Dag.of_circuit circuit in
   let layout =
-    Engine.find_layout params coupling ~rng:(Engine.layout_rng params) ~dist ~bonus circuit
+    Engine.find_layout params coupling ~rng:(Engine.layout_rng params) ~dist ~bonus ~dag
+      circuit
   in
   let r =
-    Engine.route_once params coupling ~rng:(Engine.route_rng params) ~dist ~bonus circuit
-      layout
+    Engine.route_once params coupling ~rng:(Engine.route_rng params) ~dist ~bonus ~dag
+      circuit layout
   in
   {
     circuit = Engine.to_circuit ~n_phys:(Coupling.n_qubits coupling) r.routed;

@@ -12,13 +12,14 @@ type result = {
   n_swaps : int;
 }
 
-val hop_distance : Topology.Coupling.t -> float array array
+val hop_distance : Topology.Coupling.t -> Topology.Distmat.t
 (** The plain BFS hop-count distance matrix as floats (infinity when
-    disconnected); the default routing metric. *)
+    disconnected); the default routing metric.  Same as
+    {!Topology.Distmat.hops}. *)
 
 val route :
   ?params:Engine.params ->
-  ?dist:float array array ->
+  ?dist:Topology.Distmat.t ->
   Topology.Coupling.t ->
   Qcircuit.Circuit.t ->
   result

@@ -49,6 +49,13 @@ val name : t -> string
 
 val pp : Format.formatter -> t -> unit
 
+val add_signature : Buffer.t -> t -> unit
+(** Append an exact binary signature of the gate: a constructor tag byte
+    plus the bit patterns of every float parameter.  Injective (distinct
+    gates produce distinct signatures, with no decimal rounding) and cheap;
+    the memoization caches (commutation, Weyl cost) build their keys from
+    it. *)
+
 val is_two_qubit : t -> bool
 (** Arity exactly 2 and a unitary (not barrier/measure). *)
 

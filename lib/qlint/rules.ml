@@ -163,6 +163,17 @@ let layout coupling l2p =
     l2p;
   List.rev !diags
 
+let distmat d =
+  count_check ();
+  if Topology.Distmat.is_legacy d then
+    [
+      Diagnostic.warning ~loc:(Diagnostic.Stage "route") ~rule:"distmat.legacy"
+        "distance matrix was built from nested rows (Distmat.of_rows); use \
+         Distmat.hops, Calibration.noise_distmat or Distmat.of_flat for the \
+         flat fast path";
+    ]
+  else []
+
 let check_circuit ?coupling ?(props = []) c =
   let base =
     structural ~n:(Qcircuit.Circuit.n_qubits c) (Qcircuit.Circuit.instrs c)

@@ -45,6 +45,18 @@ let counter name = intern counter_reg name
 let gauge name = intern gauge_reg name
 let histogram name = intern hist_reg name
 
+(* ---- timing histograms opt-in ----
+
+   Wall-clock observations (e.g. the engine's per-step scoring time) are
+   inherently nondeterministic, so feeding them into histograms would break
+   the byte-identical-trace guarantee of the default export.  They are off
+   unless a caller that wants times (--trace-times, the profile/score
+   benches) opts in process-wide. *)
+
+let timing_flag = Atomic.make false
+let set_timing b = Atomic.set timing_flag b
+let timing_enabled () = Atomic.get timing_flag
+
 let registered reg =
   Mutex.protect registry_lock (fun () -> Array.sub reg.names 0 reg.count)
 

@@ -44,6 +44,16 @@ val histogram : string -> histogram
 val active : unit -> bool
 (** True iff a collector is installed on the calling domain. *)
 
+val set_timing : bool -> unit
+(** Opt in to wall-clock histogram observations (per-step scoring time and
+    friends).  Off by default: timing values are nondeterministic, and
+    recording them would break the byte-identical guarantee of the default
+    [--trace] export.  Enabled by [--trace-times] and the profile/score
+    benches. *)
+
+val timing_enabled : unit -> bool
+(** Current state of the {!set_timing} opt-in (process-wide). *)
+
 val incr : counter -> unit
 val add : counter -> int -> unit
 

@@ -18,20 +18,25 @@ let c_hits = Qobs.counter "commutation.cache_hits"
 let c_misses = Qobs.counter "commutation.cache_misses"
 let c_uncached = Qobs.counter "commutation.uncached_evals"
 
+(* cache key: exact binary gate signatures (Gate.add_signature — injective,
+   no Format round-trips on the hot path) plus the relative qubit layout of
+   the two operand lists *)
 let key (g1, qs1) (g2, qs2) =
-  let pos q qs = List.mapi (fun i x -> if x = q then Some i else None) qs in
-  ignore pos;
-  let gate_sig g =
-    match (g : Gate.t) with
-    | Gate.Unitary2 _ -> "unitary2?" (* not cacheable; handled below *)
-    | g -> Format.asprintf "%a" Gate.pp g
-  in
-  (* encode relative qubit layout *)
   let all = List.sort_uniq compare (qs1 @ qs2) in
-  let rel qs = String.concat "," (List.map (fun q ->
-      string_of_int (Option.get (List.find_index (( = ) q) all))) qs)
+  let buf = Buffer.create 32 in
+  let rel qs =
+    List.iter
+      (fun q ->
+        Buffer.add_char buf
+          (Char.chr (Option.get (List.find_index (( = ) q) all))))
+      qs;
+    Buffer.add_char buf '\255'
   in
-  gate_sig g1 ^ "[" ^ rel qs1 ^ "]|" ^ gate_sig g2 ^ "[" ^ rel qs2 ^ "]"
+  Gate.add_signature buf g1;
+  rel qs1;
+  Gate.add_signature buf g2;
+  rel qs2;
+  Buffer.contents buf
 
 let compute_commute (g1, qs1) (g2, qs2) =
   let all = List.sort_uniq compare (qs1 @ qs2) in

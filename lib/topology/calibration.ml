@@ -54,7 +54,7 @@ let readout_error t q = t.ro_err.(q)
 let sq_error t q = t.sq_err.(q)
 let coupling t = t.coupling
 
-let noise_distance_matrix ?(alpha1 = 0.5) ?(alpha2 = 0.0) ?(alpha3 = 0.5) t =
+let noise_distmat ?(alpha1 = 0.5) ?(alpha2 = 0.0) ?(alpha3 = 0.5) t =
   let n = Coupling.n_qubits t.coupling in
   let edges = Coupling.edges t.coupling in
   let max_err = List.fold_left (fun m (a, b) -> Float.max m (cx_error t a b)) 1e-12 edges in
@@ -64,27 +64,35 @@ let noise_distance_matrix ?(alpha1 = 0.5) ?(alpha2 = 0.0) ?(alpha3 = 0.5) t =
     +. (alpha2 *. (cx_time t a b /. max_t))
     +. (alpha3 *. 1.0)
   in
-  (* all-pairs Dijkstra; graphs are tiny (<= dozens of qubits) *)
-  let dist = Array.make_matrix n n infinity in
+  (* all-pairs Dijkstra straight into flat row-major storage; graphs are
+     tiny (<= dozens of qubits) *)
+  let flat = Array.make (n * n) infinity in
   for src = 0 to n - 1 do
-    let d = dist.(src) in
-    d.(src) <- 0.0;
+    let row = src * n in
+    flat.(row + src) <- 0.0;
     let visited = Array.make n false in
     let rec loop () =
       let u = ref (-1) in
       for v = 0 to n - 1 do
-        if (not visited.(v)) && d.(v) < infinity && (!u = -1 || d.(v) < d.(!u)) then u := v
+        if
+          (not visited.(v))
+          && flat.(row + v) < infinity
+          && (!u = -1 || flat.(row + v) < flat.(row + !u))
+        then u := v
       done;
       if !u >= 0 then begin
         visited.(!u) <- true;
         List.iter
           (fun v ->
-            let w = d.(!u) +. weight !u v in
-            if w < d.(v) then d.(v) <- w)
+            let w = flat.(row + !u) +. weight !u v in
+            if w < flat.(row + v) then flat.(row + v) <- w)
           (Coupling.neighbors t.coupling !u);
         loop ()
       end
     in
     loop ()
   done;
-  dist
+  Distmat.of_flat ~n flat
+
+let noise_distance_matrix ?alpha1 ?alpha2 ?alpha3 t =
+  Distmat.to_rows (noise_distmat ?alpha1 ?alpha2 ?alpha3 t)

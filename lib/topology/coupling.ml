@@ -1,6 +1,7 @@
 type t = {
   n : int;
   adj : int list array;
+  conn : Bytes.t;  (* flat n*n adjacency; O(1) [connected] for the routers *)
   edges : (int * int) list;
   dist : int array array;  (* max_int when unreachable *)
 }
@@ -39,14 +40,22 @@ let create n raw_edges =
       adj.(b) <- a :: adj.(b))
     edges;
   Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  let conn = Bytes.make (n * n) '\000' in
+  List.iter
+    (fun (a, b) ->
+      Bytes.set conn ((a * n) + b) '\001';
+      Bytes.set conn ((b * n) + a) '\001')
+    edges;
   let dist = Array.init n (fun src -> bfs_row adj n src) in
-  { n; adj; edges; dist }
+  { n; adj; conn; edges; dist }
 
 let n_qubits t = t.n
 let edges t = t.edges
 let neighbors t q = t.adj.(q)
 let degree t q = List.length t.adj.(q)
-let connected t a b = List.mem b t.adj.(a)
+let connected t a b =
+  a >= 0 && a < t.n && b >= 0 && b < t.n
+  && Bytes.unsafe_get t.conn ((a * t.n) + b) = '\001'
 let distance_matrix t = t.dist
 
 let distance t a b =

@@ -1,0 +1,36 @@
+type t = { size : int; data : float array; legacy : bool }
+
+let n t = t.size
+let get t a b = t.data.((a * t.size) + b)
+let raw t = t.data
+
+let hops coupling =
+  let m = Coupling.distance_matrix coupling in
+  let size = Coupling.n_qubits coupling in
+  let data = Array.make (size * size) infinity in
+  for a = 0 to size - 1 do
+    for b = 0 to size - 1 do
+      let v = m.(a).(b) in
+      if v <> max_int then data.((a * size) + b) <- float_of_int v
+    done
+  done;
+  { size; data; legacy = false }
+
+let of_flat ~n data =
+  if Array.length data <> n * n then invalid_arg "Distmat.of_flat: length <> n*n";
+  { size = n; data; legacy = false }
+
+let of_rows rows =
+  let size = Array.length rows in
+  let data = Array.make (size * size) infinity in
+  Array.iteri
+    (fun a row ->
+      if Array.length row <> size then invalid_arg "Distmat.of_rows: ragged matrix";
+      Array.blit row 0 data (a * size) size)
+    rows;
+  { size; data; legacy = true }
+
+let to_rows t =
+  Array.init t.size (fun a -> Array.sub t.data (a * t.size) t.size)
+
+let is_legacy t = t.legacy

@@ -1,0 +1,43 @@
+(** Flat distance matrices for the routing hot path.
+
+    The routing engine reads [D.(a).(b)] once per (candidate, pair) — the
+    innermost loop of the whole system.  A nested [float array array] costs
+    a bounds-checked indirection per row; storing the matrix row-major in
+    one flat [float array] keeps the lookup a single offset computation and
+    the whole matrix contiguous in cache.
+
+    Construction provenance is tracked so tooling ({!Qlint}) can flag
+    callers still building nested matrices and converting them ([of_rows],
+    the legacy adapter) instead of using a flat-native constructor. *)
+
+type t
+
+val n : t -> int
+(** Number of physical qubits (the matrix is [n x n]). *)
+
+val get : t -> int -> int -> float
+(** [get d a b] is the distance from [a] to [b]; [infinity] when
+    unreachable. *)
+
+val raw : t -> float array
+(** The backing row-major array, length [n * n]: entry [(a, b)] lives at
+    [a * n + b].  Exposed for hot loops; treat as read-only. *)
+
+val hops : Coupling.t -> t
+(** BFS hop counts as floats ([infinity] when disconnected) — the default
+    routing metric.  Flat-native. *)
+
+val of_flat : n:int -> float array -> t
+(** Wrap an already-flat row-major array (length must be [n * n]).
+    Flat-native. *)
+
+val of_rows : float array array -> t
+(** Adapter for legacy nested matrices (copies into flat storage).  The
+    result is marked {!is_legacy}; prefer {!hops},
+    {!Calibration.noise_distmat} or {!of_flat}. *)
+
+val to_rows : t -> float array array
+(** Fresh nested copy (for callers that still want rows, e.g. tests). *)
+
+val is_legacy : t -> bool
+(** True iff the matrix came through the {!of_rows} compatibility path. *)

@@ -296,7 +296,7 @@ let test_nassc_beats_sabre_on_average () =
 let test_ha_routing_valid () =
   let coupling = Topology.Devices.montreal in
   let cal = Topology.Calibration.generate coupling in
-  let dist = Topology.Calibration.noise_distance_matrix cal in
+  let dist = Topology.Calibration.noise_distmat cal in
   let rng = Rng.create 71 in
   let c = random_2q_circuit rng 6 40 in
   let r = Sabre.route ~dist coupling c in

@@ -1,0 +1,6 @@
+(* Regenerate the routing golden corpus:
+     dune exec tools/golden_gen/main.exe > test/goldens/routing.golden
+   Only legitimate when the routed outputs are *supposed* to change; perf
+   PRs must leave the file untouched. *)
+
+let () = print_string (Golden_defs.generate ())
