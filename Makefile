@@ -1,4 +1,4 @@
-.PHONY: all build test coverage fmt lint bench profile regress ci clean
+.PHONY: all build test coverage fmt lint bench profile regress gap ci clean
 
 all: build
 
@@ -42,6 +42,12 @@ profile:
 # and compares against bench/baselines/regress-quick.json (exit 1 on breach)
 regress:
 	dune exec bench/main.exe -- --regress --quick
+
+# optimality-gap harness: certifies small corpus circuits with the exact
+# oracle and tables the gap per router (sabre/nassc/astar/hybrid); writes
+# a BENCH_<sha>-gap.json snapshot
+gap:
+	dune exec bench/main.exe -- --only gap --quick
 
 ci: build test fmt lint
 

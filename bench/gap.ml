@@ -1,0 +1,134 @@
+(* Optimality-gap harness (`bench --only gap [--quick] [--out FILE]`).
+
+   For every corpus circuit x small topology, the exact oracle
+   (Qroute.Exact.min_swaps, free layout) certifies the true minimum SWAP
+   count for the *same* pre-optimized logical circuit the routers see;
+   each router is then scored by its absolute gap (inserted swaps minus
+   the optimum).  The table is printed and written as a schema-versioned
+   BENCH_<git-sha>-gap.json snapshot, the gap-side sibling of the
+   regress snapshot. *)
+
+let schema_version = 1
+let kind = "nassc-bench-gap"
+
+(* generous: the oracle is only consulted offline, and corpus instances
+   are small enough that certified optima matter more than latency *)
+let oracle_budget = { Qroute.Exact.max_nodes = 5_000_000; max_seconds = infinity }
+
+let routers =
+  [
+    ("sabre", Qroute.Pipeline.Sabre_router);
+    ("nassc", Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config);
+    ("astar", Qroute.Pipeline.Astar_router);
+    ("hybrid", Qroute.Pipeline.Hybrid_router Qroute.Hybrid.default_config);
+  ]
+
+type row = {
+  circuit : string;
+  topology : string;
+  n_qubits : int;
+  two_q : int;  (** two-qubit gates in the routed (pre-optimized) circuit *)
+  optimal : int option;  (** None: oracle budget exceeded *)
+  swaps : (string * int) list;  (** per router, in [routers] order *)
+}
+
+let run ?(seed = 11) ~quick ~out () =
+  Printf.printf "=== optimality gap (%s corpus, seed %d, trials 1) ===\n%!"
+    (if quick then "quick" else "full")
+    seed;
+  let params = { Qroute.Engine.default_params with seed } in
+  let entries = Qbench.Gapcorpus.suite ~quick in
+  let rows =
+    List.concat_map
+      (fun (e : Qbench.Gapcorpus.entry) ->
+        (* the exact circuit the routers route: lowered then pre-optimized *)
+        let logical =
+          Qroute.Pipeline.pre_optimize (Qroute.Pipeline.lower_to_2q (e.build ()))
+        in
+        let two_q = Qcircuit.Circuit.two_qubit_count logical in
+        List.map
+          (fun (tname, coupling) ->
+            Printf.printf "  %-10s %-8s ...%!" e.name tname;
+            let optimal =
+              match Qroute.Exact.min_swaps ~budget:oracle_budget coupling logical with
+              | Qroute.Exact.Routed { n_swaps; _ } -> Some n_swaps
+              | Qroute.Exact.Route_budget_exceeded -> None
+            in
+            let swaps =
+              List.map
+                (fun (rname, router) ->
+                  let r =
+                    Qroute.Pipeline.transpile ~params ~trials:1 ~router coupling
+                      (e.build ())
+                  in
+                  (rname, r.Qroute.Pipeline.n_swaps))
+                routers
+            in
+            let opt_str =
+              match optimal with Some o -> string_of_int o | None -> "?"
+            in
+            Printf.printf " 2q=%d opt=%s %s\n%!" two_q opt_str
+              (String.concat " "
+                 (List.map (fun (n, s) -> Printf.sprintf "%s=%d" n s) swaps));
+            { circuit = e.name; topology = tname; n_qubits = e.n_qubits; two_q;
+              optimal; swaps })
+          Qbench.Gapcorpus.topologies)
+      entries
+  in
+  (* gap table *)
+  Printf.printf "\n%-10s %-8s %4s %4s" "circuit" "topology" "2q" "opt";
+  List.iter (fun (n, _) -> Printf.printf " %10s" (n ^ " gap")) routers;
+  Printf.printf "\n";
+  let sums = Array.make (List.length routers) 0 in
+  let counted = ref 0 in
+  List.iter
+    (fun r ->
+      let opt_str = match r.optimal with Some o -> string_of_int o | None -> "?" in
+      Printf.printf "%-10s %-8s %4d %4s" r.circuit r.topology r.two_q opt_str;
+      (match r.optimal with
+      | Some o ->
+          incr counted;
+          List.iteri
+            (fun i (_, s) ->
+              sums.(i) <- sums.(i) + (s - o);
+              Printf.printf " %10d" (s - o))
+            r.swaps
+      | None -> List.iter (fun _ -> Printf.printf " %10s" "-") r.swaps);
+      Printf.printf "\n")
+    rows;
+  if !counted > 0 then begin
+    Printf.printf "%-10s %-8s %4s %4s" "TOTAL" "" "" "";
+    Array.iter (fun s -> Printf.printf " %10d" s) sums;
+    Printf.printf "   (over %d certified instances)\n" !counted
+  end;
+  (* snapshot *)
+  let out_file =
+    match out with
+    | Some f -> f
+    | None -> Printf.sprintf "BENCH_%s-gap.json" (Regress.git_short_sha ())
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\n  \"schema_version\": %d,\n  \"kind\": \"%s\",\n  \"git_sha\": \"%s\",\n\
+       \  \"suite\": \"%s\",\n  \"seed\": %d,\n  \"rows\": [\n"
+       schema_version kind (Regress.git_short_sha ())
+       (if quick then "quick" else "full")
+       seed);
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"circuit\": \"%s\", \"topology\": \"%s\", \"n_qubits\": %d, \
+            \"two_q\": %d, \"optimal\": %s, %s}%s\n"
+           r.circuit r.topology r.n_qubits r.two_q
+           (match r.optimal with Some o -> string_of_int o | None -> "null")
+           (String.concat ", "
+              (List.map (fun (n, s) -> Printf.sprintf "\"%s\": %d" n s) r.swaps))
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out out_file in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "snapshot: %s\n" out_file

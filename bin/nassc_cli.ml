@@ -16,7 +16,7 @@ let size_arg =
   Arg.(value & opt int 27 & info [ "n"; "size" ] ~docv:"N" ~doc)
 
 let router_arg =
-  let doc = "Router: sabre | nassc | sabre-ha | nassc-ha | none." in
+  let doc = "Router: sabre | nassc | sabre-ha | nassc-ha | hybrid | none." in
   Arg.(value & opt string "nassc" & info [ "r"; "router" ] ~docv:"ROUTER" ~doc)
 
 let seed_arg =
@@ -138,6 +138,7 @@ let router_of_string cal = function
       ignore cal;
       Ok Qroute.Pipeline.Sabre_ha
   | "nassc-ha" -> Ok (Qroute.Pipeline.Nassc_ha Qroute.Nassc.default_config)
+  | "hybrid" -> Ok (Qroute.Pipeline.Hybrid_router Qroute.Hybrid.default_config)
   | "none" -> Ok Qroute.Pipeline.Full_connectivity
   | r -> Error ("unknown router " ^ r)
 

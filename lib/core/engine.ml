@@ -267,7 +267,7 @@ let two_qubit_front_of dag front_ids mapping =
       else None)
     front_ids
 
-let route_once params coupling ~rng ~dist ~bonus ?dag circuit init_layout =
+let route_once params coupling ~rng ~dist ~bonus ?window ?dag circuit init_layout =
   Qobs.span "engine.route_once" @@ fun () ->
   let n_phys = Coupling.n_qubits coupling in
   let n_log = Qcircuit.Circuit.n_qubits circuit in
@@ -431,6 +431,45 @@ let route_once params coupling ~rng ~dist ~bonus ?dag circuit init_layout =
         decay.(p1) <- decay.(p1) +. params.decay_delta;
         decay.(p2) <- decay.(p2) +. params.decay_delta
   in
+  (* exact-window hook: on a stuck front, let the caller hand back a full
+     SWAP sequence (the hybrid router's oracle).  The swaps are emitted and
+     applied verbatim — Swap_plain, so downstream finalizers treat them like
+     any heuristic swap — and each is recorded as a single-candidate step so
+     flight records stay replayable.  Declining (None / empty) falls through
+     to the heuristic path untouched; with no hook installed this is free
+     and the engine's behavior is byte-identical to before. *)
+  let try_window front_ids =
+    match window with
+    | None -> false
+    | Some solve -> (
+        let front_pairs = two_qubit_front_of dag front_ids mapping in
+        match solve ~front:front_pairs with
+        | None | Some [] -> false
+        | Some swaps ->
+            let front_n = List.length front_pairs in
+            List.iter
+              (fun (p, q) ->
+                ignore (emit Gate.SWAP [ p; q ] Swap_plain);
+                if Qobs.Recorder.active () then
+                  Qobs.Recorder.record_step ~front:front_n
+                    ~candidates:
+                      [
+                        {
+                          Qobs.Recorder.p1 = min p q;
+                          p2 = max p q;
+                          h_basic = 0.0;
+                          h_lookahead = 0.0;
+                          h = 0.0;
+                          bonus = 0.0;
+                        };
+                      ]
+                    ~chosen:(p, q) ~chosen_bonus:0.0 ();
+                apply_swap mapping p q;
+                incr n_swaps;
+                Qobs.incr c_swaps)
+              swaps;
+            true)
+  in
   let force_progress front_ids =
     (* escape valve: route the first front 2q gate along a shortest path *)
     Qobs.incr c_force;
@@ -483,6 +522,7 @@ let route_once params coupling ~rng ~dist ~bonus ?dag circuit init_layout =
       stall := 0;
       Array.fill decay 0 n_phys 1.0
     end
+    else if try_window front_ids then stall := 0
     else begin
       if !stall >= params.stall_limit then begin
         force_progress front_ids;

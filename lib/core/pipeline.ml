@@ -7,6 +7,7 @@ type router =
   | Sabre_ha
   | Nassc_ha of Nassc.config
   | Astar_router
+  | Hybrid_router of Hybrid.config
 
 type result = {
   circuit : Qcircuit.Circuit.t;
@@ -122,6 +123,9 @@ let transpile ?(params = Engine.default_params) ?calibration ?(trials = 1) ?work
             coupling logical
         in
         (Sabre.decompose_swaps r.circuit, r.n_swaps, Some (r.initial_layout, r.final_layout))
+    | Hybrid_router config ->
+        let r = Hybrid.route ~params ~config coupling logical in
+        (r.circuit, r.n_swaps, Some (r.initial_layout, r.final_layout))
     | Sabre_ha ->
         let dist = Option.get dist_ha in
         let r = Sabre.route ~params ~dist coupling logical in

@@ -23,6 +23,8 @@ type router =
   | Sabre_ha  (** SABRE with the noise-aware distance matrix (eq. 3) *)
   | Nassc_ha of Nassc.config
   | Astar_router  (** Zulehner-style layered A* baseline (related work) *)
+  | Hybrid_router of Hybrid.config
+      (** NASSC engine with exact-oracle front windows ({!Hybrid.route}) *)
 
 type result = {
   circuit : Qcircuit.Circuit.t;  (** final circuit in the hardware basis *)

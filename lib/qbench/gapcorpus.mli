@@ -1,0 +1,21 @@
+(** The optimality-gap corpus: small circuits and devices on which the
+    exact oracle can certify the true minimum SWAP count.  Shared by
+    [bench --only gap], the gap golden test, and the golden generator.
+    Append-only: recorded optima in [test/goldens/gap.golden] reference
+    entries by name. *)
+
+type entry = {
+  name : string;
+  n_qubits : int;  (** logical qubits, 3..5 *)
+  build : unit -> Qcircuit.Circuit.t;
+}
+
+val circuits : entry list
+(** The full corpus (~20 circuits, 3..5 qubits, bounded depth). *)
+
+val topologies : (string * Topology.Coupling.t) list
+(** line5, ring5, grid2x3 — path, cycle, and mesh connectivity. *)
+
+val suite : quick:bool -> entry list
+(** [suite ~quick:true] is the CI subset (one entry per family);
+    [~quick:false] the full corpus. *)

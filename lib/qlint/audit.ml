@@ -252,11 +252,78 @@ let savings ?(seed = 2022) ?(samples = 12) () =
     ];
   { pairs_checked = 0; scenarios_checked = !scenarios; diags = List.rev !diags }
 
+(* ---- optimality: no router may beat the exact oracle ----
+
+   The oracle's free-layout minimum is a hard floor for any router's
+   inserted-swap count; a router below it means either the oracle's
+   search is unsound or the router's swap accounting lies.  Audited on a
+   handful of gap-corpus instances small enough that certification is
+   milliseconds, so this runs in the same CI lint job as the other
+   audits. *)
+
+let optimality ?(seed = 11) () =
+  let scenarios = ref 0 in
+  let diags = ref [] in
+  let params = { Qroute.Engine.default_params with seed } in
+  let routers =
+    [
+      ("sabre", Qroute.Pipeline.Sabre_router);
+      ("nassc", Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config);
+      ("astar", Qroute.Pipeline.Astar_router);
+      ("hybrid", Qroute.Pipeline.Hybrid_router Qroute.Hybrid.default_config);
+    ]
+  in
+  let entry name =
+    List.find (fun (e : Qbench.Gapcorpus.entry) -> e.name = name)
+      Qbench.Gapcorpus.circuits
+  in
+  let instances = [ "ghz4"; "qft4"; "bv4" ] in
+  let topologies =
+    List.filter
+      (fun (t, _) -> t = "line5" || t = "ring5")
+      Qbench.Gapcorpus.topologies
+  in
+  List.iter
+    (fun cname ->
+      let e = entry cname in
+      let logical =
+        Qroute.Pipeline.pre_optimize (Qroute.Pipeline.lower_to_2q (e.build ()))
+      in
+      List.iter
+        (fun (tname, coupling) ->
+          incr scenarios;
+          Qobs.incr c_scenarios;
+          match Qroute.Exact.min_swaps coupling logical with
+          | Qroute.Exact.Route_budget_exceeded ->
+              diags :=
+                Diagnostic.errorf ~rule:"audit.optimality"
+                  "%s/%s: oracle budget exceeded on an audit-sized instance" cname
+                  tname
+                :: !diags
+          | Qroute.Exact.Routed { n_swaps = optimal; _ } ->
+              List.iter
+                (fun (rname, router) ->
+                  let r =
+                    Qroute.Pipeline.transpile ~params ~trials:1 ~router coupling
+                      (e.build ())
+                  in
+                  if r.Qroute.Pipeline.n_swaps < optimal then
+                    diags :=
+                      Diagnostic.errorf ~rule:"audit.optimality"
+                        "%s/%s: %s inserted %d swaps, below the certified optimum %d"
+                        cname tname rname r.Qroute.Pipeline.n_swaps optimal
+                      :: !diags)
+                routers)
+        topologies)
+    instances;
+  { pairs_checked = 0; scenarios_checked = !scenarios; diags = List.rev !diags }
+
 let run ?seed () =
   let a = commutation_tables () in
   let b = savings ?seed () in
+  let c = optimality ?seed () in
   {
     pairs_checked = a.pairs_checked;
-    scenarios_checked = b.scenarios_checked;
-    diags = a.diags @ b.diags;
+    scenarios_checked = b.scenarios_checked + c.scenarios_checked;
+    diags = a.diags @ b.diags @ c.diags;
   }

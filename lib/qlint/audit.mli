@@ -27,5 +27,12 @@ type report = {
 val commutation_tables : unit -> report
 val savings : ?seed:int -> ?samples:int -> unit -> report
 
+val optimality : ?seed:int -> unit -> report
+(** Routes a few gap-corpus instances with every router and certifies the
+    optimum with {!Qroute.Exact.min_swaps}: any router inserting fewer
+    SWAPs than the oracle's free-layout minimum is a soundness violation
+    (of the oracle or of the router's swap accounting) and is reported as
+    an [audit.optimality] error. *)
+
 val run : ?seed:int -> unit -> report
-(** Both audits; [diags] concatenated. *)
+(** All three audits; [diags] concatenated. *)

@@ -61,6 +61,7 @@ let routers =
     ("sabre-ha", Qroute.Pipeline.Sabre_ha);
     ("nassc-ha", Qroute.Pipeline.Nassc_ha Qroute.Nassc.default_config);
     ("astar", Qroute.Pipeline.Astar_router);
+    ("hybrid", Qroute.Pipeline.Hybrid_router Qroute.Hybrid.default_config);
   ]
 
 let topologies =

@@ -1,6 +1,14 @@
-(* Regenerate the routing golden corpus:
+(* Regenerate the golden corpora:
      dune exec tools/golden_gen/main.exe > test/goldens/routing.golden
-   Only legitimate when the routed outputs are *supposed* to change; perf
-   PRs must leave the file untouched. *)
+     dune exec tools/golden_gen/main.exe -- gap > test/goldens/gap.golden
+   Only legitimate when the pinned outputs are *supposed* to change; perf
+   PRs must leave the routing file untouched.  The gap mode certifies
+   optima with the exact oracle, so it takes a minute or two. *)
 
-let () = print_string (Golden_defs.generate ())
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [ "gap" ] -> print_string (Golden_defs.generate_gap ())
+  | [ _ ] -> print_string (Golden_defs.generate ())
+  | _ ->
+      prerr_endline "usage: golden_gen [gap]";
+      exit 2
