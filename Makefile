@@ -1,4 +1,4 @@
-.PHONY: all build test coverage fmt lint bench profile regress gap ci clean
+.PHONY: all build test coverage fmt lint bench profile regress gap matrix ci clean
 
 all: build
 
@@ -48,6 +48,12 @@ regress:
 # a BENCH_<sha>-gap.json snapshot
 gap:
 	dune exec bench/main.exe -- --only gap --quick
+
+# benchmark matrix: routers x topologies x circuit families with
+# cx/swaps/depth-overhead/ESP columns; writes BENCH_<sha>-matrix.json and
+# a rendered markdown table next to it (drop --quick for the full sweep)
+matrix:
+	dune exec bench/main.exe -- --only matrix --quick
 
 ci: build test fmt lint
 

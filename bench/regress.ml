@@ -55,10 +55,7 @@ let span_wall root name =
   in
   sum root
 
-let counter_total trace name =
-  match List.assoc_opt name (Qobs.Trace.counters_total trace) with
-  | Some v -> v
-  | None -> 0
+let counter_total = Qobs.Trace.counter_total
 
 let run_suite ~quick ~seed ~trials =
   let coupling = Topology.Devices.montreal in

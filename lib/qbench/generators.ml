@@ -102,6 +102,134 @@ let qpe n =
   inverse_qft_on b (all_qubits t);
   Qcircuit.Circuit.Builder.circuit b
 
+(* ---- parameterized benchmark-matrix families (IQM-style workload sweep) ----
+
+   Every family is a pure function of its parameters: equal arguments give
+   byte-identical circuits, and the instruction budget is a closed form of
+   the parameters (the property tests in test_qbench.ml pin both). *)
+
+let random_density ?(seed = 11) ~gates ~density n =
+  if n < 2 then invalid_arg "Generators.random_density: need at least 2 qubits";
+  if gates < 0 then invalid_arg "Generators.random_density: negative gate count";
+  if density < 0.0 || density > 1.0 then
+    invalid_arg "Generators.random_density: density must lie in [0, 1]";
+  let rng = Mathkit.Rng.create seed in
+  let n2q = int_of_float (Float.round (density *. float_of_int gates)) in
+  (* exactly [n2q] two-qubit slots, spread by a seeded shuffle so the
+     realized density matches the requested bucket by construction *)
+  let slots = Array.init gates (fun i -> i < n2q) in
+  Mathkit.Rng.shuffle rng slots;
+  let b = Qcircuit.Circuit.Builder.create n in
+  Array.iter
+    (fun two_q ->
+      if two_q then begin
+        let a = Mathkit.Rng.int rng n in
+        let c = (a + 1 + Mathkit.Rng.int rng (n - 1)) mod n in
+        match Mathkit.Rng.int rng 3 with
+        | 0 -> Qcircuit.Circuit.Builder.add b Gate.CX [ a; c ]
+        | 1 -> Qcircuit.Circuit.Builder.add b Gate.CZ [ a; c ]
+        | _ -> Qcircuit.Circuit.Builder.add b (Gate.CP (Mathkit.Rng.float rng pi)) [ a; c ]
+      end
+      else begin
+        let q = Mathkit.Rng.int rng n in
+        match Mathkit.Rng.int rng 4 with
+        | 0 -> Qcircuit.Circuit.Builder.add b Gate.H [ q ]
+        | 1 -> Qcircuit.Circuit.Builder.add b Gate.T [ q ]
+        | 2 -> Qcircuit.Circuit.Builder.add b Gate.SX [ q ]
+        | _ ->
+            Qcircuit.Circuit.Builder.add b (Gate.RZ (Mathkit.Rng.float rng (2.0 *. pi))) [ q ]
+      end)
+    slots;
+  Qcircuit.Circuit.Builder.circuit b
+
+let erdos_renyi_edges ?(seed = 11) ~edge_prob n =
+  if n < 2 then invalid_arg "Generators.erdos_renyi_edges: need at least 2 qubits";
+  if edge_prob < 0.0 || edge_prob > 1.0 then
+    invalid_arg "Generators.erdos_renyi_edges: edge_prob must lie in [0, 1]";
+  let rng = Mathkit.Rng.create seed in
+  let edges = ref [] in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      if Mathkit.Rng.float rng 1.0 < edge_prob then edges := (i, j) :: !edges
+    done
+  done;
+  List.rev !edges
+
+let qaoa_erdos_renyi ?(seed = 11) ?(p = 1) ~edge_prob n =
+  if p < 0 then invalid_arg "Generators.qaoa_erdos_renyi: negative depth";
+  let edges = erdos_renyi_edges ~seed ~edge_prob n in
+  (* angles drawn from a separate stream so the graph is a function of
+     [seed, edge_prob, n] alone *)
+  let rng = Mathkit.Rng.create (seed + 0x9e3779) in
+  let b = Qcircuit.Circuit.Builder.create n in
+  List.iter (fun q -> Qcircuit.Circuit.Builder.add b Gate.H [ q ]) (all_qubits n);
+  for _ = 1 to p do
+    let gamma = Mathkit.Rng.float rng pi in
+    let beta = Mathkit.Rng.float rng pi in
+    List.iter
+      (fun (u, v) -> Qcircuit.Circuit.Builder.add b (Gate.RZZ gamma) [ u; v ])
+      edges;
+    List.iter
+      (fun q -> Qcircuit.Circuit.Builder.add b (Gate.RX (2.0 *. beta)) [ q ])
+      (all_qubits n)
+  done;
+  Qcircuit.Circuit.Builder.circuit b
+
+let brickwork_pairs ~cycle n =
+  let first = if cycle mod 2 = 0 then 0 else 1 in
+  let rec pairs a acc = if a + 1 > n - 1 then List.rev acc else pairs (a + 2) ((a, a + 1) :: acc) in
+  pairs first []
+
+let supremacy_brickwork ?(seed = 11) ~cycles n =
+  if n < 2 then invalid_arg "Generators.supremacy_brickwork: need at least 2 qubits";
+  if cycles < 0 then invalid_arg "Generators.supremacy_brickwork: negative cycles";
+  let rng = Mathkit.Rng.create seed in
+  let b = Qcircuit.Circuit.Builder.create n in
+  for cycle = 0 to cycles - 1 do
+    (* one random single-qubit gate per qubit (sqrt-X / sqrt-X^dag / T,
+       the Google-supremacy flavor), then a brick layer of CZs *)
+    List.iter
+      (fun q ->
+        match Mathkit.Rng.int rng 3 with
+        | 0 -> Qcircuit.Circuit.Builder.add b Gate.SX [ q ]
+        | 1 -> Qcircuit.Circuit.Builder.add b Gate.SXdg [ q ]
+        | _ -> Qcircuit.Circuit.Builder.add b Gate.T [ q ])
+      (all_qubits n);
+    List.iter
+      (fun (a, c) -> Qcircuit.Circuit.Builder.add b Gate.CZ [ a; c ])
+      (brickwork_pairs ~cycle n)
+  done;
+  Qcircuit.Circuit.Builder.circuit b
+
+let ghz_chain n =
+  if n < 2 then invalid_arg "Generators.ghz_chain: need at least 2 qubits";
+  let b = Qcircuit.Circuit.Builder.create n in
+  Qcircuit.Circuit.Builder.add b Gate.H [ 0 ];
+  for i = 0 to n - 2 do
+    Qcircuit.Circuit.Builder.add b Gate.CX [ i; i + 1 ]
+  done;
+  Qcircuit.Circuit.Builder.circuit b
+
+let cx_ladder ?(rounds = 2) n =
+  if n < 4 || n mod 2 <> 0 then
+    invalid_arg "Generators.cx_ladder: needs an even qubit count >= 4";
+  if rounds < 1 then invalid_arg "Generators.cx_ladder: need at least one round";
+  let k = n / 2 in
+  let a i = i and bq i = k + i in
+  let b = Qcircuit.Circuit.Builder.create n in
+  Qcircuit.Circuit.Builder.add b Gate.H [ a 0 ];
+  for round = 0 to rounds - 1 do
+    for i = 0 to k - 2 do
+      Qcircuit.Circuit.Builder.add b Gate.CX [ a i; a (i + 1) ];
+      Qcircuit.Circuit.Builder.add b Gate.CX [ bq i; bq (i + 1) ]
+    done;
+    for i = 0 to k - 1 do
+      if round mod 2 = 0 then Qcircuit.Circuit.Builder.add b Gate.CX [ a i; bq i ]
+      else Qcircuit.Circuit.Builder.add b Gate.CX [ bq i; a i ]
+    done
+  done;
+  Qcircuit.Circuit.Builder.circuit b
+
 (* Cuccaro ripple-carry adder: qubits [cin; a0..ak-1; b0..bk-1; cout] *)
 let adder n_qubits =
   if n_qubits < 4 || n_qubits mod 2 <> 0 then

@@ -39,3 +39,53 @@ val multiplier : int -> Qcircuit.Circuit.t
 (** [multiplier n_qubits]: shift-and-add multiplier (partial products via
     Toffolis, accumulation via controlled ripple adds).  25 qubits hosts
     5-bit x 5-bit with a truncated 9-bit product, as in the paper's row. *)
+
+(** {2 Parameterized benchmark-matrix families}
+
+    The workload axes of [bench --only matrix] (IQM-benchmark-style
+    scenario diversity, arXiv:2502.03908).  Every generator is a pure
+    function of its parameters — equal arguments produce byte-identical
+    circuits — and carries a closed-form instruction budget, both pinned
+    by the property tests in [test_qbench.ml]. *)
+
+val random_density :
+  ?seed:int -> gates:int -> density:float -> int -> Qcircuit.Circuit.t
+(** [random_density ~gates ~density n]: exactly [gates] instructions on
+    [n] qubits of which exactly [round (density *. gates)] are two-qubit
+    gates (CX/CZ/CP on seeded random pairs); the rest are seeded random
+    one-qubit gates (H/T/SX/RZ).  The two-qubit slots are spread by a
+    seeded shuffle, so the realized 2q-gate density equals the request
+    by construction.  Default [seed] 11. *)
+
+val erdos_renyi_edges : ?seed:int -> edge_prob:float -> int -> (int * int) list
+(** The G(n, p) edge set underlying {!qaoa_erdos_renyi}: each of the
+    [n(n-1)/2] unordered pairs is included independently with probability
+    [edge_prob], in sorted [(lo, hi)] order.  Exposed so tests can audit
+    the graph against the circuit. *)
+
+val qaoa_erdos_renyi :
+  ?seed:int -> ?p:int -> edge_prob:float -> int -> Qcircuit.Circuit.t
+(** [qaoa_erdos_renyi ~edge_prob n]: depth-[p] (default 1) QAOA MaxCut
+    ansatz on the Erdős–Rényi graph of {!erdos_renyi_edges}: H on every
+    qubit, then per layer RZZ(gamma) on every edge and RX(2 beta) on every
+    qubit.  Instruction budget: [n + p * (|E| + n)].  The graph depends on
+    [(seed, edge_prob, n)] only; angles come from a separate stream. *)
+
+val supremacy_brickwork : ?seed:int -> cycles:int -> int -> Qcircuit.Circuit.t
+(** [supremacy_brickwork ~cycles n]: quantum-supremacy-style 1D brickwork —
+    per cycle a seeded random single-qubit gate (SX/SXdg/T) on every qubit,
+    then CZ bricks on pairs [(0,1)(2,3)...] for even cycles and
+    [(1,2)(3,4)...] for odd.  Instruction budget: [cycles * n] one-qubit
+    gates plus [floor(n/2)] (even cycle) or [floor((n-1)/2)] (odd cycle)
+    CZs per cycle. *)
+
+val ghz_chain : int -> Qcircuit.Circuit.t
+(** H + nearest-neighbour CX chain preparing the n-qubit GHZ state:
+    exactly [n] instructions ([1] H, [n-1] CX), depth [n]. *)
+
+val cx_ladder : ?rounds:int -> int -> Qcircuit.Circuit.t
+(** [cx_ladder n] ([n = 2k] qubits, rails [0..k-1] and [k..2k-1]): one H,
+    then per round CX down both rails and CX across every rung (direction
+    alternating by round) — dense two-qubit traffic whose ladder shape
+    matches no evaluated topology exactly.  Instruction budget:
+    [1 + rounds * (3k - 2)]; every gate after the H is a CX. *)

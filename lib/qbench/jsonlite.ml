@@ -170,6 +170,88 @@ let of_string s =
   if c.pos <> String.length s then fail "trailing garbage at offset %d" c.pos;
   v
 
+(* ---- printer ---- *)
+
+(* Shortest decimal representation that re-parses to the exact same double:
+   try %.15g, %.16g, %.17g in order and keep the first that round-trips
+   (17 significant digits always do).  Without this, matrix baselines diff
+   spuriously: a float printed with fixed precision parses back to a
+   *different* double and every snapshot comparison sees phantom deltas. *)
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.0f" f
+  else
+    let s15 = Printf.sprintf "%.15g" f in
+    if float_of_string s15 = f then s15
+    else
+      let s16 = Printf.sprintf "%.16g" f in
+      if float_of_string s16 = f then s16 else Printf.sprintf "%.17g" f
+
+let escape_to_buffer b s =
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let serialize ?(indent = 0) v =
+  let b = Buffer.create 256 in
+  let pad depth = if indent > 0 then Buffer.add_string b (String.make (depth * indent) ' ') in
+  let nl () = if indent > 0 then Buffer.add_char b '\n' in
+  let rec go depth = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (if x then "true" else "false")
+    | Num f ->
+        if Float.is_finite f then Buffer.add_string b (number_to_string f)
+        else Buffer.add_string b "null" (* JSON has no NaN/inf *)
+    | Str s ->
+        Buffer.add_char b '"';
+        escape_to_buffer b s;
+        Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+        Buffer.add_char b '[';
+        nl ();
+        List.iteri
+          (fun i item ->
+            if i > 0 then begin
+              Buffer.add_char b ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            go (depth + 1) item)
+          items;
+        nl ();
+        pad depth;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        nl ();
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then begin
+              Buffer.add_char b ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            Buffer.add_char b '"';
+            escape_to_buffer b k;
+            Buffer.add_string b "\": ";
+            go (depth + 1) item)
+          kvs;
+        nl ();
+        pad depth;
+        Buffer.add_char b '}'
+  in
+  go 0 v;
+  Buffer.contents b
+
 (* ---- accessors ---- *)
 
 let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None

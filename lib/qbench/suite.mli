@@ -17,7 +17,13 @@ val find : string -> entry
 val small_suite : entry list
 (** The non-heavy entries; handy for quick runs and tests. *)
 
+val matrix_regress_entries : entry list
+(** Benchmark-matrix family instances (random-density, QAOA-ER, brickwork,
+    ladder, GHZ chain) appended to {!regress_suite} so the regression gate
+    covers the broader workload surface of [bench --only matrix]. *)
+
 val regress_suite : quick:bool -> entry list
 (** The circuits [bench --regress] runs: with [quick:true] a six-circuit
     spread over sizes 4..15 (what CI compares against the checked-in
-    baseline), otherwise {!small_suite}. *)
+    baseline), otherwise {!small_suite} — in both cases followed by
+    {!matrix_regress_entries}. *)

@@ -268,6 +268,9 @@ module Trace = struct
     Array.to_list (Array.mapi (fun id name -> (name, totals.(id))) names)
     |> List.sort compare
 
+  let counter_total t name =
+    match List.assoc_opt name (counters_total t) with Some v -> v | None -> 0
+
   let json_escape s =
     let buf = Buffer.create (String.length s + 8) in
     String.iter

@@ -133,6 +133,10 @@ module Trace : sig
   (** Registered counters summed over the root and every child, sorted by
       name. *)
 
+  val counter_total : t -> string -> int
+  (** One counter's total over the whole trace; [0] for names never
+      registered (what the bench harnesses use to pull single metrics). *)
+
   val histograms_total : t -> (string * Hist.t) list
   (** Histograms merged (bucket-count addition, root first then children
       in merge order) over the whole trace, sorted by name. *)

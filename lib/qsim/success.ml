@@ -33,10 +33,10 @@ let ideal_outcome c =
 
 type outcome = { success_rate : float; esp : float; shots : int }
 
-let routed_success ?(shots = 2048) ?(seed = 97) ~cal ~ideal ~routed ~final_layout () =
-  let n_log = Qcircuit.Circuit.n_qubits ideal in
-  let correct = ideal_outcome ideal in
-  let ideal_bit l = (correct lsr (n_log - 1 - l)) land 1 in
+(* Compact the routed circuit to its touched wires and view the device
+   noise model through the renaming; shared by the Monte-Carlo success
+   estimator and the analytic ESP path below. *)
+let compact_with_model ~cal ~routed ~final_layout ~n_log =
   let small, where = compact routed in
   let m = Qcircuit.Circuit.n_qubits small in
   let base_model = Noise.of_calibration cal in
@@ -49,6 +49,20 @@ let routed_success ?(shots = 2048) ?(seed = 97) ~cal ~ideal ~routed ~final_layou
         let phys = final_layout.(l) in
         if phys < 0 || phys >= Array.length where then -1 else where.(phys))
   in
+  (small, model, measured_new)
+
+let routed_esp ~cal ~routed ~final_layout =
+  let small, model, measured_new =
+    compact_with_model ~cal ~routed ~final_layout ~n_log:(Array.length final_layout)
+  in
+  Noise.esp model small ~measured:(List.filter (fun w -> w >= 0) measured_new)
+
+let routed_success ?(shots = 2048) ?(seed = 97) ~cal ~ideal ~routed ~final_layout () =
+  let n_log = Qcircuit.Circuit.n_qubits ideal in
+  let correct = ideal_outcome ideal in
+  let ideal_bit l = (correct lsr (n_log - 1 - l)) land 1 in
+  let small, model, measured_new = compact_with_model ~cal ~routed ~final_layout ~n_log in
+  let m = Qcircuit.Circuit.n_qubits small in
   let esp = Noise.esp model small ~measured:(List.filter (fun w -> w >= 0) measured_new) in
   if m > 18 then begin
     (* too wide to simulate: analytic fallback *)

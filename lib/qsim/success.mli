@@ -18,6 +18,18 @@ type outcome = {
   shots : int;
 }
 
+val routed_esp :
+  cal:Topology.Calibration.t ->
+  routed:Qcircuit.Circuit.t ->
+  final_layout:int array ->
+  float
+(** Analytic ESP of a routed circuit (no sampling, any width): the product
+    of [1 - error] over instructions times [1 - readout] over the wires of
+    [final_layout], with the routed circuit compacted to its touched wires
+    and the calibration viewed through the renaming — exactly the [esp]
+    field {!routed_success} reports, without the Monte-Carlo part.  This is
+    the success-probability column of [bench --only matrix]. *)
+
 val routed_success :
   ?shots:int ->
   ?seed:int ->

@@ -138,6 +138,22 @@ let gap_line (e : Qbench.Gapcorpus.entry) tname coupling =
   Printf.sprintf "%s %s 2q=%d opt=%s %s" e.name tname two_q opt
     (String.concat " " swaps)
 
+(* ---- the benchmark-matrix golden corpus (test/goldens/matrix.golden) ----
+
+   The quick subset of `bench --only matrix`: one small instance per
+   family x {line5, grid2x3} x all six routers, one line per cell with
+   cx/swaps/depth plus the depth-overhead and ESP columns in exact
+   (shortest-round-trip) float form.  Cells are deterministic for any
+   worker count; the matrix test checks workers 1 and 4 against the same
+   bytes. *)
+
+let generate_matrix ?(workers = 2) () =
+  Qbench.Matrix.golden_lines
+    (Qbench.Matrix.run ~workers
+       ~instances:(Qbench.Matrix.instances ~quick:true)
+       ~topologies:(Qbench.Matrix.golden_topologies ())
+       ())
+
 let generate_gap () =
   String.concat "\n"
     (List.concat_map

@@ -73,6 +73,39 @@ let qcheck_props =
         routers)
     topologies
 
+(* ---- metamorphic sweep over the benchmark-matrix families ----
+
+   Every parameterized family that feeds `bench --only matrix`, at <=6
+   qubits, through every router of the matrix (including the
+   heuristic-aware and hybrid variants): the routed circuit must stay
+   statevector-equivalent to the generated logical circuit on every
+   topology. *)
+
+let family_circuits =
+  [
+    ("random-density", fun () -> Qbench.Generators.random_density ~seed:7 ~gates:24 ~density:0.4 5);
+    ("qaoa-er", fun () -> Qbench.Generators.qaoa_erdos_renyi ~seed:7 ~p:1 ~edge_prob:0.5 5);
+    ("brickwork", fun () -> Qbench.Generators.supremacy_brickwork ~seed:7 ~cycles:4 5);
+    ("ghz", fun () -> Qbench.Generators.ghz_chain 5);
+    ("ladder", fun () -> Qbench.Generators.cx_ladder ~rounds:2 4);
+  ]
+
+let test_matrix_families_equivalent () =
+  List.iter
+    (fun (fname, build) ->
+      let c = build () in
+      List.iter
+        (fun (tname, coupling) ->
+          List.iter
+            (fun (rname, router) ->
+              check
+                (Printf.sprintf "%s/%s/%s preserves semantics" fname rname tname)
+                true
+                (equivalent_after ~router ~coupling c 11))
+            Qbench.Matrix.routers)
+        [ ("linear", Topology.Devices.linear 7); ("grid", Topology.Devices.grid 2 4) ])
+    family_circuits
+
 (* pinned regression: the same circuit through both routers, both equivalent
    to the source (hence to each other) *)
 let test_routers_agree_semantically () =
@@ -95,4 +128,9 @@ let () =
         List.map QCheck_alcotest.to_alcotest qcheck_props
         @ [ Alcotest.test_case "pinned circuit, all combos" `Quick
               test_routers_agree_semantically ] );
+      ( "matrix families",
+        [
+          Alcotest.test_case "all families x all matrix routers" `Quick
+            test_matrix_families_equivalent;
+        ] );
     ]

@@ -85,6 +85,183 @@ let test_qpe_estimates_phase () =
   check "qpe phase recovered exactly" true (Float.abs (est -. target) < 1e-9);
   check "estimate deterministic" true (Qsim.State.probability s out > 0.99)
 
+(* ---- matrix-family generator properties ----
+
+   Every parameterized family must be a pure function of its arguments
+   (same seed => byte-identical circuit, checked through Gate.add_signature
+   hashing), hit its closed-form instruction budget exactly, keep every
+   operand in range, and land its 2q-gate density / edge probability where
+   the parameters asked. *)
+
+let circuit_digest c =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (string_of_int (Circuit.n_qubits c));
+  List.iter
+    (fun (i : Circuit.instr) ->
+      Qgate.Gate.add_signature b i.gate;
+      List.iter
+        (fun q ->
+          Buffer.add_char b ':';
+          Buffer.add_string b (string_of_int q))
+        i.qubits;
+      Buffer.add_char b ';')
+    (Circuit.instrs c);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let operands_in_range c =
+  let n = Circuit.n_qubits c in
+  List.for_all
+    (fun (i : Circuit.instr) -> List.for_all (fun q -> q >= 0 && q < n) i.qubits)
+    (Circuit.instrs c)
+
+let prop_random_density =
+  let gen =
+    QCheck.Gen.(
+      quad (int_range 0 1_000_000) (int_range 2 10) (int_range 0 80)
+        (oneofl [ 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 ]))
+  in
+  QCheck.Test.make ~name:"random_density: deterministic, exact budget, in range"
+    ~count:60 (QCheck.make gen) (fun (seed, n, gates, density) ->
+      let c = Generators.random_density ~seed ~gates ~density n in
+      let c' = Generators.random_density ~seed ~gates ~density n in
+      let n2q = int_of_float (Float.round (density *. float_of_int gates)) in
+      circuit_digest c = circuit_digest c'
+      && Circuit.size c = gates
+      && Circuit.two_qubit_count c = n2q
+      && operands_in_range c
+      (* realized density sits inside the requested bucket (rounding only) *)
+      && (gates = 0
+         || Float.abs
+              ((float_of_int (Circuit.two_qubit_count c) /. float_of_int gates)
+              -. density)
+            <= (0.5 /. float_of_int gates) +. 1e-9))
+
+let prop_qaoa_er =
+  let gen =
+    QCheck.Gen.(
+      quad (int_range 0 1_000_000) (int_range 2 10) (int_range 0 3)
+        (oneofl [ 0.0; 0.3; 0.5; 0.8; 1.0 ]))
+  in
+  QCheck.Test.make ~name:"qaoa_erdos_renyi: deterministic, graph-consistent budget"
+    ~count:60 (QCheck.make gen) (fun (seed, n, p, edge_prob) ->
+      let c = Generators.qaoa_erdos_renyi ~seed ~p ~edge_prob n in
+      let c' = Generators.qaoa_erdos_renyi ~seed ~p ~edge_prob n in
+      let edges = Generators.erdos_renyi_edges ~seed ~edge_prob n in
+      let e = List.length edges in
+      let max_pairs = n * (n - 1) / 2 in
+      let sorted_distinct =
+        List.sort_uniq compare edges = edges
+        && List.for_all (fun (u, v) -> 0 <= u && u < v && v < n) edges
+      in
+      circuit_digest c = circuit_digest c'
+      && sorted_distinct
+      && Circuit.size c = n + (p * (e + n))
+      && Circuit.gate_count c "h" = n
+      && Circuit.gate_count c "rzz" = p * e
+      && Circuit.gate_count c "rx" = p * n
+      && operands_in_range c
+      && (edge_prob > 0.0 || e = 0)
+      && (edge_prob < 1.0 || e = max_pairs))
+
+let prop_brickwork =
+  let gen =
+    QCheck.Gen.(triple (int_range 0 1_000_000) (int_range 2 12) (int_range 0 6))
+  in
+  QCheck.Test.make ~name:"supremacy_brickwork: deterministic, exact budget" ~count:60
+    (QCheck.make gen) (fun (seed, n, cycles) ->
+      let c = Generators.supremacy_brickwork ~seed ~cycles n in
+      let c' = Generators.supremacy_brickwork ~seed ~cycles n in
+      let czs = ref 0 in
+      for cycle = 0 to cycles - 1 do
+        czs := !czs + if cycle mod 2 = 0 then n / 2 else (n - 1) / 2
+      done;
+      circuit_digest c = circuit_digest c'
+      && Circuit.size c = (cycles * n) + !czs
+      && Circuit.two_qubit_count c = !czs
+      && Circuit.gate_count c "cz" = !czs
+      && operands_in_range c)
+
+let prop_ghz_chain =
+  QCheck.Test.make ~name:"ghz_chain: exact budget, chain depth" ~count:20
+    (QCheck.make (QCheck.Gen.int_range 2 15)) (fun n ->
+      let c = Generators.ghz_chain n in
+      Circuit.equal c (Generators.ghz_chain n)
+      && Circuit.size c = n
+      && Circuit.cx_count c = n - 1
+      && Circuit.depth c = n
+      && operands_in_range c)
+
+let prop_cx_ladder =
+  let gen = QCheck.Gen.(pair (oneofl [ 4; 6; 8; 10 ]) (int_range 1 4)) in
+  QCheck.Test.make ~name:"cx_ladder: exact budget, all-CX body" ~count:20
+    (QCheck.make gen) (fun (n, rounds) ->
+      let c = Generators.cx_ladder ~rounds n in
+      let k = n / 2 in
+      Circuit.equal c (Generators.cx_ladder ~rounds n)
+      && Circuit.size c = 1 + (rounds * ((3 * k) - 2))
+      && Circuit.cx_count c = Circuit.size c - 1
+      && Circuit.two_qubit_count c = Circuit.size c - 1
+      && operands_in_range c)
+
+(* pinned seeds => deterministic statistical check, no flake: over 200
+   seeded G(8, p) draws the mean edge density must track p *)
+let test_er_edge_probability () =
+  let n = 8 in
+  let pairs = n * (n - 1) / 2 in
+  List.iter
+    (fun p ->
+      let total =
+        List.fold_left
+          (fun acc seed ->
+            acc + List.length (Generators.erdos_renyi_edges ~seed ~edge_prob:p n))
+          0
+          (List.init 200 (fun i -> i))
+      in
+      let mean = float_of_int total /. float_of_int (200 * pairs) in
+      check
+        (Printf.sprintf "mean G(8, %.1f) density %.3f within 0.05" p mean)
+        true
+        (Float.abs (mean -. p) < 0.05))
+    [ 0.2; 0.5; 0.8 ]
+
+(* ---- Jsonlite printer: floats must re-parse to the same value ---- *)
+
+let bits_equal a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let roundtrips f =
+  match Jsonlite.of_string (Jsonlite.number_to_string f) with
+  | Jsonlite.Num g -> bits_equal f g
+  | _ -> false
+
+let test_jsonlite_float_roundtrip () =
+  List.iter
+    (fun f -> check (Printf.sprintf "%h round-trips" f) true (roundtrips f))
+    [
+      0.0; -0.0; 1.0; -1.0; 0.1; 1.0 /. 3.0; Float.pi; 1e-300; 4e-324;
+      1.7976931348623157e308; 2.2250738585072014e-308; 9007199254740992.0;
+      1.5e16; 1e22; 123456.789; -0.6496140651980709; 1.542857142857143;
+    ]
+
+let prop_jsonlite_float_roundtrip =
+  QCheck.Test.make ~name:"jsonlite: every finite float round-trips exactly" ~count:500
+    (QCheck.make QCheck.Gen.float) (fun f ->
+      (not (Float.is_finite f)) || roundtrips f)
+
+let test_jsonlite_serialize_roundtrip () =
+  let v =
+    Jsonlite.Obj
+      [
+        ("esp", Jsonlite.Num 0.6496140651980709);
+        ("overhead", Jsonlite.Num 1.542857142857143);
+        ("name\n\"quoted\"", Jsonlite.Str "tab\there");
+        ("cells", Jsonlite.List [ Jsonlite.Num 3.0; Jsonlite.Bool true; Jsonlite.Null ]);
+      ]
+  in
+  let compact = Jsonlite.of_string (Jsonlite.serialize v) in
+  let pretty = Jsonlite.of_string (Jsonlite.serialize ~indent:2 v) in
+  check "compact round-trip" true (compact = v);
+  check "pretty round-trip" true (pretty = v)
+
 let test_multiplier_structure () =
   let c = Generators.multiplier 25 in
   checki "25 qubits" 25 (Circuit.n_qubits c);
@@ -115,5 +292,23 @@ let () =
           Alcotest.test_case "grover amplifies" `Quick test_grover_finds_marked_state;
           Alcotest.test_case "qpe phase" `Quick test_qpe_estimates_phase;
           Alcotest.test_case "multiplier structure" `Quick test_multiplier_structure;
+        ] );
+      ( "matrix families",
+        [
+          QCheck_alcotest.to_alcotest prop_random_density;
+          QCheck_alcotest.to_alcotest prop_qaoa_er;
+          QCheck_alcotest.to_alcotest prop_brickwork;
+          QCheck_alcotest.to_alcotest prop_ghz_chain;
+          QCheck_alcotest.to_alcotest prop_cx_ladder;
+          Alcotest.test_case "erdos-renyi edge probability" `Quick
+            test_er_edge_probability;
+        ] );
+      ( "jsonlite",
+        [
+          Alcotest.test_case "float round-trip corpus" `Quick
+            test_jsonlite_float_roundtrip;
+          QCheck_alcotest.to_alcotest prop_jsonlite_float_roundtrip;
+          Alcotest.test_case "serialize/parse round-trip" `Quick
+            test_jsonlite_serialize_roundtrip;
         ] );
     ]

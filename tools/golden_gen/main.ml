@@ -1,6 +1,7 @@
 (* Regenerate the golden corpora:
      dune exec tools/golden_gen/main.exe > test/goldens/routing.golden
      dune exec tools/golden_gen/main.exe -- gap > test/goldens/gap.golden
+     dune exec tools/golden_gen/main.exe -- matrix > test/goldens/matrix.golden
    Only legitimate when the pinned outputs are *supposed* to change; perf
    PRs must leave the routing file untouched.  The gap mode certifies
    optima with the exact oracle, so it takes a minute or two. *)
@@ -8,7 +9,8 @@
 let () =
   match Array.to_list Sys.argv with
   | _ :: [ "gap" ] -> print_string (Golden_defs.generate_gap ())
+  | _ :: [ "matrix" ] -> print_string (Golden_defs.generate_matrix ())
   | [ _ ] -> print_string (Golden_defs.generate ())
   | _ ->
-      prerr_endline "usage: golden_gen [gap]";
+      prerr_endline "usage: golden_gen [gap|matrix]";
       exit 2
