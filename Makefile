@@ -1,4 +1,4 @@
-.PHONY: all build test coverage fmt lint bench profile regress gap matrix ci clean
+.PHONY: all build test coverage fmt lint bench profile regress gap matrix verify ci clean
 
 all: build
 
@@ -54,6 +54,13 @@ gap:
 # a rendered markdown table next to it (drop --quick for the full sweep)
 matrix:
 	dune exec bench/main.exe -- --only matrix --quick
+
+# semantic verification: certify the whole routing-golden corpus with the
+# symbolic equivalence checker (certificates land in certs.jsonl), then
+# time the certifier up to device scale (BENCH_<sha>-verify.json)
+verify:
+	dune exec bin/nassc_cli.exe -- verify --corpus --jsonl certs.jsonl
+	dune exec bench/main.exe -- --only verify
 
 ci: build test fmt lint
 

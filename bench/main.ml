@@ -7,7 +7,7 @@ let usage () =
      \       bench/main.exe --regress [--quick] [--baseline FILE] [--out FILE]\n\
      \                      [--max-cx-regress PCT] [--max-depth-regress PCT]\n\
      EXP: table1 table2 table3 table4 fig9 fig11a fig11b routers trials scaling\n\
-     \     gap matrix profile score timing ablate-decomp ablate-lookahead all\n\
+     \     gap matrix verify profile score timing ablate-decomp ablate-lookahead all\n\
      --seeds N   routing seeds per benchmark (default 5; heavy circuits capped at 3)\n\
      --shots N   Monte-Carlo shots for fig11b (default 2048; paper used 8192)\n\
      --full      run heavy (RevLib-scale) benchmarks everywhere (default: tables only)\n\
@@ -100,6 +100,8 @@ let () =
     if !only = "gap" then Gap.run ~quick:!quick ~out:!out ();
     (* routers x topologies x families comparison matrix: opt-in only *)
     if !only = "matrix" then Matrix.run ~quick:!quick ~out:!out ();
+    (* symbolic-verification throughput up to device scale: opt-in only *)
+    if !only = "verify" then Verify.run ~out:!out ();
     if !only = "profile" then Profile.run ();
     if !only = "score" then Scorebench.run ?out:!out ();
     if want "scaling" then Scaling.run ~seeds ();

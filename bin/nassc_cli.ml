@@ -281,6 +281,112 @@ let transpile_file_cmd path topology size router seed trials workers qasm lint t
         end
     end
 
+(* ---- verify: symbolic equivalence certification ---- *)
+
+let corpus_arg =
+  let doc =
+    "Certify every cell of the routing golden corpus (circuits x topologies x routers x \
+     trials, the same axis test/goldens/routing.golden pins)."
+  in
+  Arg.(value & flag & info [ "corpus" ] ~doc)
+
+let verify_jsonl_arg =
+  let doc = "Append one certificate JSON line per verified cell to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
+
+let verify_files_arg =
+  let doc = "OpenQASM 2 files to transpile (with -t/-r/-s) and certify." in
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+
+(* worst-verdict exit code: 0 all equivalent, 1 any not_equivalent,
+   2 otherwise if any unknown *)
+let verify_cmd files topology size router_name seed corpus jsonl =
+  let buf = Buffer.create 256 in
+  let n_ne = ref 0 and n_unknown = ref 0 and n_cells = ref 0 in
+  let cell ~name ~tname ~rname ~trials ~original (r : Qroute.Pipeline.result) =
+    incr n_cells;
+    let v =
+      Qverify.verify_routed ~original ~routed:r.Qroute.Pipeline.circuit
+        ?initial_layout:r.Qroute.Pipeline.initial_layout
+        ?final_layout:r.Qroute.Pipeline.final_layout ()
+    in
+    (match v with
+    | Qverify.Equivalent _ -> ()
+    | Qverify.Not_equivalent _ -> incr n_ne
+    | Qverify.Unknown _ -> incr n_unknown);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"kind\":\"certificate\",\"circuit\":\"%s\",\"topology\":\"%s\",\
+          \"router\":\"%s\",\"trials\":%d,\"verdict\":%s}\n"
+         name tname rname trials (Qverify.to_json v));
+    Printf.printf "%-8s %-12s %-9s trials=%d  %s\n" name tname rname trials
+      (Qverify.verdict_name v)
+  in
+  if corpus then
+    List.iter
+      (fun (name, original) ->
+        List.iter
+          (fun (tname, coupling) ->
+            List.iter
+              (fun (rname, router) ->
+                List.iter
+                  (fun trials ->
+                    let params =
+                      { Qroute.Engine.default_params with seed = Golden_defs.seed }
+                    in
+                    let r =
+                      Qroute.Pipeline.transpile ~params ~trials ~workers:2 ~router
+                        coupling original
+                    in
+                    cell ~name ~tname ~rname ~trials ~original r)
+                  Golden_defs.trials_axis)
+              Golden_defs.routers)
+          (Golden_defs.topologies ()))
+      (Golden_defs.circuits ());
+  let file_errors = ref 0 in
+  if files <> [] then begin
+    let coupling =
+      try Topology.Devices.by_name topology size
+      with Invalid_argument m ->
+        prerr_endline m;
+        exit 1
+    in
+    let cal = Topology.Calibration.generate coupling in
+    match router_of_string cal router_name with
+    | Error e ->
+        prerr_endline e;
+        incr file_errors
+    | Ok router ->
+        let params = { Qroute.Engine.default_params with seed } in
+        List.iter
+          (fun f ->
+            match Qcircuit.Qasm_parser.parse_file f with
+            | exception Qcircuit.Qasm_parser.Parse_error m ->
+                Printf.eprintf "%s: %s\n" f m;
+                incr file_errors
+            | exception Sys_error m ->
+                Printf.eprintf "%s\n" m;
+                incr file_errors
+            | original ->
+                let r = Qroute.Pipeline.transpile ~params ~router coupling original in
+                cell ~name:(Filename.basename f) ~tname:topology ~rname:router_name
+                  ~trials:1 ~original r)
+          files
+  end;
+  if not corpus && files = [] then begin
+    prerr_endline "verify: nothing to do (give FILEs or --corpus)";
+    exit 2
+  end;
+  (match jsonl with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      Buffer.output_buffer oc buf;
+      close_out oc);
+  Printf.printf "verified %d cells: %d not equivalent, %d unknown\n" !n_cells !n_ne
+    !n_unknown;
+  if !n_ne > 0 || !file_errors > 0 then 1 else if !n_unknown > 0 then 2 else 0
+
 (* ---- check: the static-analysis entry point ---- *)
 
 let files_arg =
@@ -306,7 +412,15 @@ let jsonl_arg =
   let doc = "Append every diagnostic as a JSON line to $(docv)." in
   Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
 
-let check_cmd files topology size router_name seed pipeline suite no_audit jsonl =
+let equiv_arg =
+  let doc =
+    "Also certify each transpiled circuit semantically equivalent to its input under the \
+     routed layouts (Qverify symbolic check; a Not_equivalent verdict is an error, an \
+     Unknown verdict a warning)."
+  in
+  Arg.(value & flag & info [ "equiv" ] ~doc)
+
+let check_cmd files topology size router_name seed pipeline suite no_audit jsonl equiv =
   let buf = Buffer.create 256 in
   let n_errors = ref 0 in
   let report target diags =
@@ -363,8 +477,15 @@ let check_cmd files topology size router_name seed pipeline suite no_audit jsonl
           Qlint.Checked.transpile ~params ~calibration:cal ~router coupling circuit
         with
         | Ok r ->
-            Printf.printf "%s: ok (cx=%d depth=%d swaps=%d)\n" target
-              r.Qroute.Pipeline.cx_total r.Qroute.Pipeline.depth r.Qroute.Pipeline.n_swaps
+            let sem =
+              if equiv then Qlint.Checked.verify_result ~original:circuit r else []
+            in
+            report target sem;
+            if not (Qlint.Diagnostic.has_errors sem) then
+              Printf.printf "%s: ok%s (cx=%d depth=%d swaps=%d)\n" target
+                (if equiv && sem = [] then " [equivalent]" else "")
+                r.Qroute.Pipeline.cx_total r.Qroute.Pipeline.depth
+                r.Qroute.Pipeline.n_swaps
         | Error diags -> report target diags
         | exception Invalid_argument m ->
             report target [ Qlint.Diagnostic.error ~rule:"check.invalid-input" m ]
@@ -421,20 +542,50 @@ let cmd_transpile_file =
 let check_t =
   Term.(
     const check_cmd $ files_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
-    $ pipeline_arg $ suite_arg $ no_audit_arg $ jsonl_arg)
+    $ pipeline_arg $ suite_arg $ no_audit_arg $ jsonl_arg $ equiv_arg)
 
 let cmd_check =
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Static analysis: validate pass-contract orderings, audit the commutation and \
-          CNOT-savings tables against ground truth, and lint circuits end to end")
+          CNOT-savings tables against ground truth, and lint circuits end to end. Exit \
+          status is 1 when any $(b,error)-severity diagnostic fired and 0 otherwise — \
+          warnings (e.g. gate.dead, distmat.legacy) never fail the run. With --jsonl \
+          FILE every diagnostic is also appended to FILE as one JSON object per line \
+          with the stable fields kind/severity/rule/message plus the location when \
+          known."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"all checks passed (warnings allowed)";
+           Cmd.Exit.info 1 ~doc:"at least one error-severity diagnostic";
+         ])
     check_t
+
+let verify_t =
+  Term.(
+    const verify_cmd $ verify_files_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
+    $ corpus_arg $ verify_jsonl_arg)
+
+let cmd_verify =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Certify routed circuits semantically equivalent to their inputs with the \
+          symbolic Pauli-tableau checker (no simulation, device scale); certificates \
+          can be exported as JSON lines"
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"every cell certified equivalent";
+           Cmd.Exit.info 1 ~doc:"at least one cell is not equivalent (transpiler bug)";
+           Cmd.Exit.info 2 ~doc:"no counterexample, but at least one cell is unknown";
+         ])
+    verify_t
 
 let main =
   Cmd.group
     (Cmd.info "nassc" ~version:"1.0.0"
        ~doc:"Optimization-aware qubit routing (NASSC, HPCA 2022) in OCaml")
-    [ cmd_transpile; cmd_transpile_file; cmd_check; cmd_list ]
+    [ cmd_transpile; cmd_transpile_file; cmd_check; cmd_verify; cmd_list ]
 
 let () = exit (Cmd.eval' main)

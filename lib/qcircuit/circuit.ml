@@ -59,6 +59,23 @@ let remap c perm =
   let f i = { i with qubits = List.map (fun q -> perm.(q)) i.qubits } in
   { c with instrs = List.map f c.instrs }
 
+let lift c ~n ~map =
+  if Array.length map <> c.n then
+    invalid_arg
+      (Printf.sprintf "Circuit.lift: map size %d does not match %d qubits"
+         (Array.length map) c.n);
+  let seen = Array.make (max n 1) false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= n then
+        invalid_arg (Printf.sprintf "Circuit.lift: wire %d out of range for %d" p n);
+      if seen.(p) then
+        invalid_arg (Printf.sprintf "Circuit.lift: map repeats wire %d" p);
+      seen.(p) <- true)
+    map;
+  let f i = { i with qubits = List.map (fun q -> map.(q)) i.qubits } in
+  { n; instrs = List.map f c.instrs }
+
 let drop_measures c =
   { c with instrs = List.filter (fun i -> i.gate <> Gate.Measure) c.instrs }
 

@@ -28,6 +28,14 @@ val inverse : t -> t
 val remap : t -> int array -> t
 (** [remap c perm] relabels qubit [q] as [perm.(q)] (size preserved). *)
 
+val lift : t -> n:int -> map:int array -> t
+(** [lift c ~n ~map] embeds [c] into an [n]-qubit circuit, relabelling
+    qubit [q] as [map.(q)].  [map] must be an injection of
+    [0..n_qubits c - 1] into [0..n-1] — exactly the shape of a routing
+    layout array (logical -> physical).  Wires outside the image of [map]
+    carry no instructions.  @raise Invalid_argument on a non-injective or
+    out-of-range map. *)
+
 val drop_measures : t -> t
 
 val gate_count : t -> string -> int

@@ -50,15 +50,31 @@ let verify_prop ?coupling ~check_semantics ~stage ~before after = function
   | Semantics_preserved ->
       if
         check_semantics
-        && Qcircuit.Circuit.n_qubits before <= semantics_limit
         && Qcircuit.Circuit.n_qubits before = Qcircuit.Circuit.n_qubits after
-      then
-        if Qsim.Equiv.unitary_equal before after then []
-        else
-          [
-            Diagnostic.errorf ~loc:(Diagnostic.Stage stage) ~rule:"contract.ensures"
-              "stage %s changed the circuit unitary (Semantics_preserved violated)" stage;
-          ]
+      then begin
+        (* symbolic certification first: width-independent, and the
+           three-valued verdict never claims a false positive.  Only an
+           Unknown (budget exhausted / unsupported gate) falls back to
+           dense unitary comparison, and only where that is tractable. *)
+        match Qverify.verify_pair before after with
+        | Qverify.Equivalent _ -> []
+        | Qverify.Not_equivalent { reason; _ } ->
+            [
+              Diagnostic.errorf ~loc:(Diagnostic.Stage stage) ~rule:"contract.ensures"
+                "stage %s changed the circuit unitary (Semantics_preserved violated): %s"
+                stage reason;
+            ]
+        | Qverify.Unknown _ ->
+            if Qcircuit.Circuit.n_qubits before <= semantics_limit then
+              if Qsim.Equiv.unitary_equal before after then []
+              else
+                [
+                  Diagnostic.errorf ~loc:(Diagnostic.Stage stage) ~rule:"contract.ensures"
+                    "stage %s changed the circuit unitary (Semantics_preserved violated)"
+                    stage;
+                ]
+            else []
+      end
       else []
 
 let run_stages ?coupling ?(check_semantics = false) ?(initial = [ Lowered_2q ]) stages
@@ -135,6 +151,29 @@ let check_result ~coupling (r : Qroute.Pipeline.result) =
         layout_checks il @ layout_checks fl @ Rules.check_map coupling c
   in
   base @ routed
+
+let verify_result ~original (r : Qroute.Pipeline.result) =
+  match
+    Qverify.verify_routed ~original ~routed:r.Qroute.Pipeline.circuit
+      ?initial_layout:r.Qroute.Pipeline.initial_layout
+      ?final_layout:r.Qroute.Pipeline.final_layout ()
+  with
+  | Qverify.Equivalent _ -> []
+  | Qverify.Not_equivalent { reason; location } ->
+      let loc =
+        match location with
+        | Some l -> Diagnostic.Instr l.Qverify.index
+        | None -> Diagnostic.Stage "route"
+      in
+      [
+        Diagnostic.errorf ~loc ~rule:"route.semantics"
+          "routed circuit is not equivalent to the input under its layouts: %s" reason;
+      ]
+  | Qverify.Unknown { reason } ->
+      [
+        Diagnostic.warning ~loc:(Diagnostic.Stage "route") ~rule:"route.semantics"
+          (Printf.sprintf "equivalence could not be certified: %s" reason);
+      ]
 
 let transpile ?params ?calibration ?trials ?workers ~router coupling circuit =
   match Diagnostic.errors (validate_pipeline ~router) with

@@ -28,8 +28,10 @@ val run_stages :
     {!Contract.Lowered_2q} / {!Contract.Hardware_basis} structurally,
     {!Contract.Routed_for} against [coupling] (skipped without one),
     {!Contract.Size_preserving} as CX-cost non-increase across the stage,
-    and — when [check_semantics] is set and the circuit has at most 8
-    qubits — {!Contract.Semantics_preserved} by dense unitary comparison.
+    and — when [check_semantics] is set — {!Contract.Semantics_preserved}
+    symbolically via {!Qverify.verify_pair} at any width, falling back to
+    dense unitary comparison (at most 8 qubits) only when the symbolic
+    checker returns Unknown.
     Requires/conflicts violations are reported too (the stage still runs).
     [initial] (default [[Lowered_2q]]) must hold on the input and seeds the
     symbolic state. *)
@@ -43,6 +45,18 @@ val check_result :
     circuit, and — when the result carries layouts (i.e. it was routed) —
     layout validity and CheckMap conformance of every two-qubit gate under
     the device coupling map. *)
+
+val verify_result :
+  original:Qcircuit.Circuit.t ->
+  Qroute.Pipeline.result ->
+  Diagnostic.t list
+(** [route.semantics]: certify that the transpiled circuit is equivalent
+    to [original] under the result's initial/final layouts, using the
+    symbolic checker ({!Qverify.verify_routed}) — no simulation, any
+    width.  {!Qverify.Not_equivalent} is an error diagnostic (a verified
+    transpiler bug, with the first divergent instruction when known);
+    {!Qverify.Unknown} is a warning (certification budget exhausted, never
+    a claim either way). *)
 
 val transpile :
   ?params:Qroute.Engine.params ->

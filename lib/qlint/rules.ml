@@ -174,10 +174,69 @@ let distmat d =
     ]
   else []
 
+(* a parameterized gate whose angles make it the identity (up to global
+   phase); 2pi-periodic, matching the rotation semantics of the gate set *)
+let angle_dead a =
+  let r = Float.rem a (2.0 *. Float.pi) in
+  let r = if r < 0.0 then r +. (2.0 *. Float.pi) else r in
+  Float.abs r <= 1e-9 || Float.abs (r -. (2.0 *. Float.pi)) <= 1e-9
+
+let is_identity_gate (g : Gate.t) =
+  match g with
+  | RX a | RY a | RZ a | P a | CRX a | CRY a | CRZ a | CP a | RZZ a -> angle_dead a
+  | U (t, p, l) -> angle_dead t && angle_dead (p +. l)
+  | _ -> false
+
+let is_self_inverse (g : Gate.t) =
+  match g with
+  | X | Y | Z | H | CX | CY | CZ | CH | SWAP | CCX | CCZ | CSWAP -> true
+  | _ -> false
+
+let dead_gates c =
+  count_check ();
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  (* last.(w) = index of the last non-directive instruction touching wire w *)
+  let last = Array.make (Qcircuit.Circuit.n_qubits c) (-1) in
+  let instrs = Array.of_list (Qcircuit.Circuit.instrs c) in
+  Array.iteri
+    (fun id (i : Qcircuit.Circuit.instr) ->
+      if not (Gate.is_directive i.gate) then begin
+        let in_range = List.for_all (fun q -> q >= 0 && q < Array.length last) i.qubits in
+        (* adjacent self-inverse pair: the previous instruction on every
+           operand wire is the same gate on the same operand list *)
+        let paired =
+          is_self_inverse i.gate && i.qubits <> [] && in_range
+          &&
+          let p = last.(List.hd i.qubits) in
+          p >= 0
+          && instrs.(p).gate = i.gate
+          && instrs.(p).qubits = i.qubits
+          && List.for_all (fun q -> last.(q) = p) i.qubits
+        in
+        if is_identity_gate i.gate then
+          emit
+            (Diagnostic.warning ~loc:(Diagnostic.Instr id) ~rule:"gate.dead"
+               (Printf.sprintf "gate %s is the identity (dead gate)" (Gate.name i.gate)))
+        else if paired then
+          emit
+            (Diagnostic.warning ~loc:(Diagnostic.Instr id) ~rule:"gate.dead"
+               (Printf.sprintf
+                  "gate %s cancels the identical %s at instruction %d (dead pair)"
+                  (Gate.name i.gate) (Gate.name i.gate)
+                  last.(List.hd i.qubits)));
+        if in_range then
+          (* both members of a cancelled pair drop out of the adjacency
+             tracking, so X X X reports one pair, X X X X reports two *)
+          List.iter (fun q -> last.(q) <- (if paired then -1 else id)) i.qubits
+      end)
+    instrs;
+  List.rev !diags
+
 let check_circuit ?coupling ?(props = []) c =
   let base =
     structural ~n:(Qcircuit.Circuit.n_qubits c) (Qcircuit.Circuit.instrs c)
-    @ dag_consistency c
+    @ dag_consistency c @ dead_gates c
   in
   let for_prop (p : Contract.prop) =
     match p with

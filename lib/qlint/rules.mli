@@ -27,6 +27,15 @@ val hardware_basis : Qcircuit.Circuit.t -> Diagnostic.t list
 (** [basis.hardware]: every gate is in the hardware basis {rz, sx, x, cx}
     plus directives (the contract {!Contract.Hardware_basis}). *)
 
+val dead_gates : Qcircuit.Circuit.t -> Diagnostic.t list
+(** [gate.dead] (warning): gates that provably do nothing — parameterized
+    gates whose angles make them the identity up to global phase (RZ(0),
+    U(0,0,0), P(2pi), ...) and adjacent self-inverse pairs on the same
+    operand list (X;X, CX a b;CX a b, H;H, ...) with no intervening gate
+    on any shared wire.  Dead gates are legal, hence a warning: they cost
+    depth (and fidelity on hardware) without effect, and routed output
+    containing them usually indicates a missed peephole. *)
+
 val check_map : Topology.Coupling.t -> Qcircuit.Circuit.t -> Diagnostic.t list
 (** CheckMap ([route.check-map]): the circuit fits on the device and every
     two-qubit gate acts on a coupled physical pair. *)
@@ -49,7 +58,8 @@ val check_circuit :
   ?props:Contract.prop list ->
   Qcircuit.Circuit.t ->
   Diagnostic.t list
-(** The full structural rule set ({!structural} + {!dag_consistency}), plus
+(** The full structural rule set ({!structural} + {!dag_consistency} +
+    {!dead_gates}), plus
     the checker for each property in [props] ({!Contract.Routed_for} needs
     [coupling] and is skipped with a warning otherwise; the relational
     properties have no single-circuit checker and are ignored here). *)

@@ -5,7 +5,14 @@
     every router).  Unitary comparison is exact but exponential; the routed
     check compares statevectors from |0...0>, which is the relevant notion
     for routed circuits whose extra device wires start (and must remain)
-    in |0>. *)
+    in |0>.
+
+    These checks are exponential in qubit count (dense matrices or
+    statevectors); for device-scale circuits use the symbolic certifier
+    [Qverify.verify_routed], which proves equivalence by stabilizer-tableau
+    conjugation at any width and degrades to [Unknown] (never a wrong
+    verdict) when its budgets run out.  The test suite cross-checks the
+    two on every circuit small enough for both. *)
 
 val unitary_equal : Qcircuit.Circuit.t -> Qcircuit.Circuit.t -> bool
 (** Dense unitary comparison up to global phase (<= 12 qubits). *)

@@ -56,7 +56,23 @@ let equivalent_after ~router ~coupling c seed =
   let r = Qroute.Pipeline.transpile ~params ~router coupling c in
   match r.final_layout with
   | None -> false
-  | Some fl -> Qsim.Equiv.routed_equal ~logical:c ~routed:r.circuit ~final_layout:fl
+  | Some fl ->
+      let dense =
+        Qsim.Equiv.routed_equal ~logical:c ~routed:r.circuit ~final_layout:fl
+      in
+      (* cross-check the symbolic certifier against the statevector oracle
+         on every differential cell: Qverify may abstain (Unknown), but a
+         decisive verdict must agree with the dense answer *)
+      let agrees =
+        match
+          Qverify.verify_routed ~original:c ~routed:r.circuit
+            ?initial_layout:r.initial_layout ~final_layout:fl ()
+        with
+        | Qverify.Equivalent _ -> dense
+        | Qverify.Not_equivalent _ -> not dense
+        | Qverify.Unknown _ -> true
+      in
+      dense && agrees
 
 (* one qcheck property per (topology, router) pair so a failure names the
    combination that broke *)
@@ -72,6 +88,89 @@ let qcheck_props =
             (fun seed -> equivalent_after ~router ~coupling (random_circuit seed) seed))
         routers)
     topologies
+
+(* ---- single-gate mutations must be flagged Not_equivalent ----
+
+   A decisive mutation: bump one non-quarter RZ angle by 0.5 (the defect
+   unitary A RZ(0.5) A^dag is never scalar), or append an RZ(0.5) when the
+   routed output happens to carry no such site.  On <=7 wires every residue
+   cluster resolves densely, so the certifier must answer Not_equivalent —
+   Unknown counts as a miss here. *)
+
+let mutate_decisive st c =
+  let n = Circuit.n_qubits c in
+  let quarter a =
+    let q = a /. (Float.pi /. 2.0) in
+    Float.abs (q -. Float.round q) < 1e-6
+  in
+  let instrs = Array.of_list (Circuit.instrs c) in
+  let sites =
+    Array.to_list instrs
+    |> List.mapi (fun i (it : Circuit.instr) -> (i, it))
+    |> List.filter (fun (_, (it : Circuit.instr)) ->
+           match it.Circuit.gate with Gate.RZ a -> not (quarter a) | _ -> false)
+  in
+  match sites with
+  | [] ->
+      Circuit.concat c
+        (Circuit.create n [ { Circuit.gate = Gate.RZ 0.5; qubits = [ 0 ] } ])
+  | sites ->
+      let i, (it : Circuit.instr) = List.nth sites (Random.State.int st (List.length sites)) in
+      let a = match it.Circuit.gate with Gate.RZ a -> a | _ -> 0.0 in
+      Circuit.create n
+        (Array.to_list
+           (Array.mapi
+              (fun j (x : Circuit.instr) ->
+                if j = i then { x with Circuit.gate = Gate.RZ (a +. 0.5) } else x)
+              instrs))
+
+let qcheck_mutation =
+  let gen_seed = QCheck.Gen.int_range 0 1_000_000 in
+  QCheck.Test.make ~name:"single-gate mutation flagged Not_equivalent" ~count:12
+    (QCheck.make gen_seed)
+    (fun seed ->
+      let c = random_circuit seed in
+      let coupling = Topology.Devices.linear 7 in
+      let params = { Qroute.Engine.default_params with seed = 1 + (seed mod 997) } in
+      let r =
+        Qroute.Pipeline.transpile ~params ~router:Qroute.Pipeline.Sabre_router
+          coupling c
+      in
+      let bad = mutate_decisive (Random.State.make [| seed |]) r.circuit in
+      match
+        Qverify.verify_routed ~original:c ~routed:bad
+          ?initial_layout:r.initial_layout ?final_layout:r.final_layout ()
+      with
+      | Qverify.Not_equivalent _ -> true
+      | _ -> false)
+
+(* ---- device scale: montreal-27, 100+ gates, symbolic-only ----
+
+   18 logical qubits on the 27-qubit device is far beyond the statevector
+   oracle; these cells exist because the symbolic certifier is the only
+   equivalence evidence at this size. *)
+
+let test_montreal_sweep () =
+  let topo = Topology.Devices.montreal in
+  List.iter
+    (fun (rname, router) ->
+      List.iter
+        (fun gates ->
+          let c =
+            Qbench.Generators.random_density ~seed:(31 + gates) ~gates ~density:0.35 18
+          in
+          let params = { Qroute.Engine.default_params with seed = 5 } in
+          let r = Qroute.Pipeline.transpile ~params ~router topo c in
+          let v =
+            Qverify.verify_routed ~original:c ~routed:r.circuit
+              ?initial_layout:r.initial_layout ?final_layout:r.final_layout ()
+          in
+          check
+            (Printf.sprintf "%s montreal %d-gate circuit certifies" rname gates)
+            true
+            (match v with Qverify.Equivalent _ -> true | _ -> false))
+        [ 120; 200 ])
+    routers
 
 (* ---- metamorphic sweep over the benchmark-matrix families ----
 
@@ -125,9 +224,14 @@ let () =
   Alcotest.run "differential"
     [
       ( "random circuits",
-        List.map QCheck_alcotest.to_alcotest qcheck_props
+        List.map QCheck_alcotest.to_alcotest (qcheck_props @ [ qcheck_mutation ])
         @ [ Alcotest.test_case "pinned circuit, all combos" `Quick
               test_routers_agree_semantically ] );
+      ( "device scale",
+        [
+          Alcotest.test_case "montreal-27 symbolic certification" `Slow
+            test_montreal_sweep;
+        ] );
       ( "matrix families",
         [
           Alcotest.test_case "all families x all matrix routers" `Quick

@@ -170,6 +170,51 @@ let test_lint_qasm () =
   | Ok c -> checki "parsed ops" 2 (Qcircuit.Circuit.size c)
   | Error d -> Alcotest.failf "unexpected: %s" d.message
 
+(* ---------- dead-gate rule ---------- *)
+
+let fixture file =
+  let local = Filename.concat "fixtures" file in
+  if Sys.file_exists local then local else Filename.concat "test/fixtures" file
+
+(* the fixture trips exactly gate.dead, three times: rz(0.0) (identity),
+   the adjacent cx;cx pair, u(0,0,0) (identity).  h;t;h at the tail is NOT
+   dead: t intervenes on the shared wire.  The rule only ever warns, so
+   `nassc_cli check` exits 0 on a circuit that trips nothing else. *)
+let test_dead_gates () =
+  match Rules.lint_qasm_file (fixture "dead_gate.qasm") with
+  | Error d -> Alcotest.failf "fixture should parse: %s" d.message
+  | Ok c ->
+      let diags = Rules.dead_gates c in
+      checki "dead gates found" 3 (List.length diags);
+      List.iter
+        (fun (d : Diagnostic.t) ->
+          Alcotest.(check string) "rule" "gate.dead" d.rule;
+          check "warning severity" true (d.severity = Diagnostic.Warning))
+        diags;
+      let insts =
+        List.map
+          (fun (d : Diagnostic.t) ->
+            match d.loc with Some (Diagnostic.Instr i) -> i | _ -> -1)
+          diags
+      in
+      check "locations" true (List.sort compare insts = [ 1; 3; 4 ]);
+      (* warnings alone never fail a check run: exit-code semantics of
+         `nassc_cli check` hinge on Diagnostic.has_errors *)
+      check "warnings are not errors" true (not (Diagnostic.has_errors diags));
+      check "full rule set stays warning-only" true
+        (not (Diagnostic.has_errors (Rules.check_circuit c)));
+      (* --jsonl schema, pinned: one golden line byte-for-byte *)
+      Alcotest.(check string) "jsonl golden line"
+        "{\"kind\":\"diagnostic\",\"severity\":\"warning\",\"rule\":\"gate.dead\",\
+         \"message\":\"gate rz is the identity (dead gate)\",\"instr\":1}"
+        (Diagnostic.to_json (List.hd diags));
+      (* counting semantics: X X X is one pair, X X X X is two *)
+      let xs k =
+        Qcircuit.Circuit.create 1 (List.init k (fun _ -> instr Gate.X [ 0 ]))
+      in
+      checki "xxx one pair" 1 (List.length (Rules.dead_gates (xs 3)));
+      checki "xxxx two pairs" 2 (List.length (Rules.dead_gates (xs 4)))
+
 (* ---------- static contract validation ---------- *)
 
 let test_validator_accepts_canonical () =
@@ -307,6 +352,7 @@ let () =
           Alcotest.test_case "bad fixtures trip their rule" `Quick test_bad_fixtures;
           Alcotest.test_case "qasm lint" `Quick test_lint_qasm;
           Alcotest.test_case "legacy distmat provenance" `Quick test_distmat_rule;
+          Alcotest.test_case "dead gates warn, never error" `Quick test_dead_gates;
           Alcotest.test_case "diagnostic format" `Quick test_diagnostic_format;
         ] );
       ( "contracts",
