@@ -1,4 +1,4 @@
-.PHONY: all build test coverage fmt lint bench profile regress gap matrix verify ci clean
+.PHONY: all build test coverage fmt lint bench profile regress gap matrix verify metrics trend ci clean
 
 all: build
 
@@ -54,6 +54,19 @@ gap:
 # a rendered markdown table next to it (drop --quick for the full sweep)
 matrix:
 	dune exec bench/main.exe -- --only matrix --quick
+
+# telemetry pass: the quick regression suite with the whole registry
+# exported as an OpenMetrics page (metrics.txt, linted before writing) and
+# one wide event JSON line per (circuit, router) row (wide.jsonl)
+metrics:
+	dune exec bench/main.exe -- --regress --quick --metrics metrics.txt \
+		--wide-events wide.jsonl
+
+# cross-run trend analysis: align every BENCH_*.json snapshot in the repo
+# root by (suite, circuit, topology, router), compare the newest against
+# the rolling median, write TREND_<sha>.md / TREND_<sha>.json
+trend:
+	dune exec bench/main.exe -- --only history --dir .
 
 # semantic verification: certify the whole routing-golden corpus with the
 # symbolic equivalence checker (certificates land in certs.jsonl), then

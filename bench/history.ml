@@ -1,0 +1,36 @@
+(* `bench --only history`: cross-run trend analysis over the BENCH_*.json
+   snapshots that --regress runs leave behind.  Prints the markdown report
+   to stdout and writes TREND_<sha>.md / TREND_<sha>.json next to it, so a
+   CI job can archive both and a human can diff the markdown. *)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let run ~dir ~out ~window () =
+  let snapshots, skipped = Qtel.Trend.load_dir dir in
+  List.iter
+    (fun (file, reason) -> Printf.eprintf "history: skipping %s: %s\n" file reason)
+    skipped;
+  if snapshots = [] then begin
+    Printf.eprintf
+      "history: no BENCH_*.json snapshots in %s (run `bench --regress` first)\n" dir;
+    2
+  end
+  else begin
+    let report = Qtel.Trend.analyze ~window snapshots in
+    let md = Qtel.Trend.to_markdown report in
+    print_string md;
+    let base =
+      match out with
+      | Some f -> f
+      | None -> Printf.sprintf "TREND_%s" (Regress.git_short_sha ())
+    in
+    write_file (base ^ ".md") md;
+    write_file (base ^ ".json") (Qtel.Trend.to_json report);
+    Printf.printf "\ntrend: wrote %s.md and %s.json\n" base base;
+    (* anomalies are reported, not fatal: trend is an early-warning signal,
+       the hard gate stays `--regress` vs the checked-in baseline *)
+    0
+  end

@@ -6,8 +6,11 @@ let usage () =
     "usage: bench/main.exe [--only EXP] [--seeds N] [--shots N] [--full] [--timing]\n\
      \       bench/main.exe --regress [--quick] [--baseline FILE] [--out FILE]\n\
      \                      [--max-cx-regress PCT] [--max-depth-regress PCT]\n\
+     \                      [--metrics FILE] [--wide-events FILE]\n\
+     \       bench/main.exe --only history [--dir DIR] [--out BASE] [--window N]\n\
      EXP: table1 table2 table3 table4 fig9 fig11a fig11b routers trials scaling\n\
-     \     gap matrix verify profile score timing ablate-decomp ablate-lookahead all\n\
+     \     gap matrix verify profile score timing history ablate-decomp\n\
+     \     ablate-lookahead all\n\
      --seeds N   routing seeds per benchmark (default 5; heavy circuits capped at 3)\n\
      --shots N   Monte-Carlo shots for fig11b (default 2048; paper used 8192)\n\
      --full      run heavy (RevLib-scale) benchmarks everywhere (default: tables only)\n\
@@ -18,7 +21,13 @@ let usage () =
      --baseline FILE        baseline snapshot (default bench/baselines/regress-<suite>.json)\n\
      --out FILE             where to write the snapshot (default BENCH_<git-sha>.json)\n\
      --max-cx-regress PCT   allowed cx_total growth in percent (default 2.0)\n\
-     --max-depth-regress PCT allowed depth growth in percent (default 5.0)"
+     --max-depth-regress PCT allowed depth growth in percent (default 5.0)\n\
+     --metrics FILE         with --regress: export the whole suite's observability\n\
+     \            registry as a Prometheus/OpenMetrics text page\n\
+     --wide-events FILE     with --regress: append one wide event JSON line per\n\
+     \            (circuit, router) row\n\
+     --dir DIR   with --only history: where to look for BENCH_*.json (default .)\n\
+     --window N  with --only history: rolling-median window (default 5)"
 
 let () =
   let only = ref "all" in
@@ -32,6 +41,10 @@ let () =
   let out = ref None in
   let max_cx = ref 2.0 in
   let max_depth = ref 5.0 in
+  let metrics = ref None in
+  let wide_events = ref None in
+  let dir = ref "." in
+  let window = ref 5 in
   let rec parse = function
     | [] -> ()
     | "--only" :: v :: rest ->
@@ -67,6 +80,18 @@ let () =
     | "--max-depth-regress" :: v :: rest ->
         max_depth := float_of_string v;
         parse rest
+    | "--metrics" :: v :: rest ->
+        metrics := Some v;
+        parse rest
+    | "--wide-events" :: v :: rest ->
+        wide_events := Some v;
+        parse rest
+    | "--dir" :: v :: rest ->
+        dir := v;
+        parse rest
+    | "--window" :: v :: rest ->
+        window := int_of_string v;
+        parse rest
     | ("--help" | "-h") :: _ ->
         usage ();
         exit 0
@@ -78,8 +103,10 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   if !regress then
     exit
-      (Regress.run ~quick:!quick ~baseline:!baseline ~out:!out ~max_cx:!max_cx
-         ~max_depth:!max_depth ~seed:11 ~trials:1 ())
+      (Regress.run ?metrics:!metrics ?wide_events:!wide_events ~quick:!quick
+         ~baseline:!baseline ~out:!out ~max_cx:!max_cx ~max_depth:!max_depth ~seed:11
+         ~trials:1 ())
+  else if !only = "history" then exit (History.run ~dir:!dir ~out:!out ~window:!window ())
   else if !timing || !only = "timing" then Timing.run ()
   else begin
     let seeds = !seeds in

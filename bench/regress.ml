@@ -57,7 +57,7 @@ let span_wall root name =
 
 let counter_total = Qobs.Trace.counter_total
 
-let run_suite ~quick ~seed ~trials =
+let run_suite ?session ?wide ~quick ~seed ~trials () =
   let coupling = Topology.Devices.montreal in
   let params = { Qroute.Engine.default_params with seed } in
   let entries = Qbench.Suite.regress_suite ~quick in
@@ -76,6 +76,20 @@ let run_suite ~quick ~seed ~trials =
           in
           let route_wall_s = span_wall obs_root "trial.route" in
           let trace = Qobs.Trace.of_root obs_root in
+          (* per-job telemetry: one wide event per (circuit, router) row,
+             and the row's collector merged under the session root so
+             --metrics exposes the whole suite as one registry *)
+          (match wide with
+          | None -> ()
+          | Some buf ->
+              let ev =
+                Qtel.Wideevent.build ~label:e.name ~router:rname ~topology:"montreal"
+                  ~trials ~seed ~original:circuit ~trace
+                  ~recorder:(Qobs.Recorder.totals rec_root) ~result:r ()
+              in
+              Buffer.add_string buf (Qtel.Wideevent.to_json ev);
+              Buffer.add_char buf '\n');
+          Option.iter (fun s -> Qobs.Collector.add_child s obs_root) session;
           Printf.printf " cx=%d depth=%d swaps=%d (%.2fs, route %.3fs)\n%!" r.cx_total
             r.depth r.n_swaps r.transpile_time route_wall_s;
           {
@@ -207,11 +221,39 @@ let compare_baseline ~max_cx ~max_depth ~rows json =
     rows;
   (List.rev !breaches, !missing)
 
-let run ~quick ~baseline ~out ~max_cx ~max_depth ~seed ~trials () =
+let run ?metrics ?wide_events ~quick ~baseline ~out ~max_cx ~max_depth ~seed ~trials () =
   let suite = if quick then "quick" else "full" in
   Printf.printf "=== bench --regress (%s suite, montreal, seed %d, trials %d) ===\n%!"
     suite seed trials;
-  let rows = run_suite ~quick ~seed ~trials in
+  if metrics <> None then Qobs.set_extended_metrics true;
+  let session =
+    match metrics with
+    | None -> None
+    | Some _ -> Some (Qobs.Collector.create ~label:"bench" ())
+  in
+  let wide = Option.map (fun _ -> Buffer.create 4096) wide_events in
+  let rows = run_suite ?session ?wide ~quick ~seed ~trials () in
+  (* telemetry artifacts are written before the baseline gate so a
+     regression failure still leaves the evidence on disk *)
+  (match (metrics, session) with
+  | Some file, Some root ->
+      let page = Qtel.Expose.to_string (Qobs.Trace.of_root root) in
+      List.iter
+        (fun (e : Qtel.Promlint.error) ->
+          Printf.eprintf "regress: metrics lint: line %d: %s\n" e.line e.msg)
+        (Qtel.Promlint.lint page);
+      let oc = open_out file in
+      output_string oc page;
+      close_out oc;
+      Printf.printf "metrics: %s\n" file
+  | _ -> ());
+  (match (wide_events, wide) with
+  | Some file, Some buf ->
+      let oc = open_out file in
+      Buffer.output_buffer oc buf;
+      close_out oc;
+      Printf.printf "wide events: %s\n" file
+  | _ -> ());
   let out_file =
     match out with Some f -> f | None -> Printf.sprintf "BENCH_%s.json" (git_short_sha ())
   in

@@ -69,6 +69,40 @@ let record_arg =
     & opt ~vopt:(Some "record.jsonl") (some string) None
     & info [ "record" ] ~docv:"FILE" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Export the run's observability registry as a Prometheus/OpenMetrics text page to \
+     $(docv) ('-' = stderr): counters as _total series, per-trial gauges with a trial \
+     label, histograms as cumulative _bucket/_sum/_count.  Implies collecting a trace \
+     and enables the extended pipeline gauges (input sizes, trial settings).  The page \
+     is linted before it is written; violations are reported on stderr."
+  in
+  Arg.(
+    value & opt ~vopt:(Some "-") (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let wide_arg =
+  let doc =
+    "Append one wide event — a single structured JSON object describing this whole \
+     transpile job (identity, input/output metrics, per-trial outcomes, cache hit \
+     rates, flight-recorder savings buckets, lint verdict when --lint ran) — to the \
+     JSONL sink $(docv) ('-' = stderr).  Deterministic: byte-identical for any worker \
+     count; add --trace-times to append an 'rt' object with wall/CPU/stage durations."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "wide.jsonl") (some string) None
+    & info [ "wide-events" ] ~docv:"FILE" ~doc)
+
+let sample_arg =
+  let doc =
+    "Run the background resource sampler during the transpile, polling every $(docv) \
+     milliseconds (GC stats, RSS from /proc/self/status, routing-pool utilization).  A \
+     one-paragraph summary goes to stderr, and with --trace/--metrics the qtel.* \
+     gauges are merged into the trace (nondeterministic values — opt-in only)."
+  in
+  Arg.(
+    value & opt ~vopt:(Some 10.0) (some float) None & info [ "sample" ] ~docv:"MS" ~doc)
+
 let trace_format_arg =
   let doc =
     "Export format for --trace and --record: $(b,jsonl) (deterministic JSON lines) or \
@@ -88,39 +122,68 @@ let write_dest dest s =
       output_string oc s;
       close_out oc
 
-(* run [f] under a collector and/or flight recorder as requested and export
-   afterwards; `--trace FILE` with the default jsonl format behaves exactly
-   as it did before the recorder existed *)
-let with_obs ~trace ~times ~record ~fmt f =
+(* run [f] under a collector, flight recorder and/or resource sampler as
+   requested and export afterwards; `--trace FILE` with the default jsonl
+   format behaves exactly as it did before the recorder existed.  Returns
+   the trace and recorder totals alongside the result so callers can
+   assemble a wide event without re-running anything. *)
+let with_obs ~trace ~times ~record ~fmt ~metrics ~wide ~sample f =
   (* --trace-times also opts into the per-step scoring-time histogram
      (engine.step_score_ms); without it the engine never reads the clock on
      the hot path and traces stay deterministic *)
   Qobs.set_timing times;
+  (* extended pipeline gauges (input sizes, trial settings) only exist for
+     exposition: default traces keep their historical bytes *)
+  if metrics <> None then Qobs.set_extended_metrics true;
   let collector =
-    match trace with None -> None | Some _ -> Some (Qobs.Collector.create ~label:"main" ())
+    if trace <> None || metrics <> None || wide <> None then
+      Some (Qobs.Collector.create ~label:"main" ())
+    else None
   in
   let recorder =
-    match record with
+    (* wide events carry the recorder's savings buckets, so --wide-events
+       turns the recorder on even without --record *)
+    if record <> None || wide <> None then Some (Qobs.Recorder.create ~label:"main" ())
+    else None
+  in
+  let sampler =
+    match sample with
     | None -> None
-    | Some _ -> Some (Qobs.Recorder.create ~label:"main" ())
+    | Some interval_ms ->
+        Qtel.Sampler.set_enabled true;
+        Qtel.Sampler.start ~interval_ms ()
   in
   let under_recorder g =
     match recorder with None -> g () | Some r -> Qobs.Recorder.with_recorder r g
   in
   let result =
+    Fun.protect ~finally:(fun () -> Option.iter Qtel.Sampler.stop sampler) @@ fun () ->
     match collector with
     | None -> under_recorder f
     | Some c -> Qobs.with_collector c (fun () -> under_recorder f)
   in
-  (match (trace, collector) with
-  | Some dest, Some c -> begin
-      let tr = Qobs.Trace.of_root c in
+  (* merge the resource story before the trace is frozen so --trace and
+     --metrics both see the qtel.* gauges *)
+  (match (sampler, collector) with Some s, Some c -> Qtel.Sampler.attach s c | _ -> ());
+  Option.iter (Qtel.Sampler.pp_summary Format.err_formatter) sampler;
+  let trace_v = Option.map Qobs.Trace.of_root collector in
+  (match (trace, trace_v) with
+  | Some dest, Some tr -> begin
       match fmt with
       | `Jsonl ->
           write_dest dest (Qobs.Trace.to_jsonl ~times tr);
           if dest <> "-" then Qobs.Trace.pp_summary Format.err_formatter tr
       | `Chrome -> write_dest dest (Qobs.Trace.to_chrome tr)
     end
+  | _ -> ());
+  (match (metrics, trace_v) with
+  | Some dest, Some tr ->
+      let page = Qtel.Expose.to_string tr in
+      List.iter
+        (fun (e : Qtel.Promlint.error) ->
+          Printf.eprintf "metrics: lint: line %d: %s\n" e.line e.msg)
+        (Qtel.Promlint.lint page);
+      write_dest dest page
   | _ -> ());
   (match (record, recorder) with
   | Some dest, Some r ->
@@ -129,7 +192,7 @@ let with_obs ~trace ~times ~record ~fmt f =
         | `Jsonl -> Qobs.Recorder.to_jsonl r
         | `Chrome -> Qobs.Recorder.to_chrome r)
   | _ -> ());
-  result
+  (result, trace_v, Option.map Qobs.Recorder.totals recorder)
 
 let router_of_string cal = function
   | "sabre" -> Ok Qroute.Pipeline.Sabre_router
@@ -149,12 +212,26 @@ let check_pool_args trials workers =
     | Some w when w < 1 -> Error "--workers must be >= 1"
     | _ -> Ok ()
 
-(* surface lint diagnostics on stderr; the return value is the exit code *)
+(* surface lint diagnostics on stderr and return them so the caller can
+   derive both the exit code and the wide event's lint verdict *)
 let lint_result coupling (r : Qroute.Pipeline.result) =
   let diags = Qlint.Checked.check_result ~coupling r in
   List.iter (fun d -> Format.eprintf "%a@." Qlint.Diagnostic.pp d) diags;
   Format.eprintf "%a@." (fun ppf -> Qlint.Diagnostic.pp_summary ppf ~checks:(Qlint.Rules.checks_run ())) diags;
-  if Qlint.Diagnostic.has_errors diags then 1 else 0
+  diags
+
+(* assemble and append the per-job wide event; [times] (--trace-times)
+   gates the nondeterministic "rt" sub-object *)
+let emit_wide ~dest ~label ~router ~topology ~trials ~workers ~seed ~original ~trace
+    ~totals ~lint_diags ~times r =
+  let lint_errors =
+    Option.map (fun d -> List.length (Qlint.Diagnostic.errors d)) lint_diags
+  in
+  let ev =
+    Qtel.Wideevent.build ~label ~router ~topology ~trials ?workers ~seed ~original
+      ?trace ?recorder:totals ?lint_errors ~result:r ()
+  in
+  Qtel.Wideevent.append ~dest (Qtel.Wideevent.to_json ~times ev)
 
 let print_trial_stats (r : Qroute.Pipeline.result) =
   if List.length r.trial_stats > 1 then begin
@@ -174,7 +251,7 @@ let print_trial_stats (r : Qroute.Pipeline.result) =
   end
 
 let transpile_cmd benchmark topology size router seed trials workers qasm lint trace
-    trace_times record fmt =
+    trace_times record fmt metrics wide sample =
   match
     Result.bind (check_pool_args trials workers) (fun () ->
         try Ok (Qbench.Suite.find benchmark)
@@ -191,6 +268,7 @@ let transpile_cmd benchmark topology size router seed trials workers qasm lint t
           exit 1
       in
       let cal = Topology.Calibration.generate coupling in
+      let router_name = router in
       match router_of_string cal router with
       | Error e ->
           prerr_endline e;
@@ -199,7 +277,8 @@ let transpile_cmd benchmark topology size router seed trials workers qasm lint t
           let circuit = entry.build () in
           let params = { Qroute.Engine.default_params with seed } in
           match
-            with_obs ~trace ~times:trace_times ~record ~fmt (fun () ->
+            with_obs ~trace ~times:trace_times ~record ~fmt ~metrics ~wide ~sample
+              (fun () ->
                 Qroute.Pipeline.transpile ~params ~calibration:cal ~trials ?workers ~router
                   coupling circuit)
           with
@@ -208,7 +287,7 @@ let transpile_cmd benchmark topology size router seed trials workers qasm lint t
                 (Qlint.Diagnostic.error ~loc:(Qlint.Diagnostic.Stage "route")
                    ~rule:"route.stuck" (Printexc.to_string e));
               1
-          | r ->
+          | r, trace_v, totals ->
           Printf.printf "benchmark:       %s (%d qubits)\n" entry.name entry.n_qubits;
           Printf.printf "topology:        %s (%d qubits)\n" topology
             (Topology.Coupling.n_qubits coupling);
@@ -224,7 +303,16 @@ let transpile_cmd benchmark topology size router seed trials workers qasm lint t
                 (String.concat " " (Array.to_list (Array.map string_of_int fl)))
           | None -> ());
           if qasm then print_string (Qcircuit.Qasm.to_string r.circuit);
-          if lint then lint_result coupling r else 0
+          let lint_diags = if lint then Some (lint_result coupling r) else None in
+          Option.iter
+            (fun dest ->
+              emit_wide ~dest ~label:entry.name ~router:router_name ~topology ~trials
+                ~workers ~seed ~original:circuit ~trace:trace_v ~totals ~lint_diags
+                ~times:trace_times r)
+            wide;
+          (match lint_diags with
+          | Some d when Qlint.Diagnostic.has_errors d -> 1
+          | _ -> 0)
         end
     end
 
@@ -233,7 +321,7 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
 let transpile_file_cmd path topology size router seed trials workers qasm lint trace
-    trace_times record fmt =
+    trace_times record fmt metrics wide sample =
   match
     Result.bind (check_pool_args trials workers) (fun () ->
         try Ok (Qcircuit.Qasm_parser.parse_file path) with
@@ -251,6 +339,7 @@ let transpile_file_cmd path topology size router seed trials workers qasm lint t
           exit 1
       in
       let cal = Topology.Calibration.generate coupling in
+      let router_name = router in
       match router_of_string cal router with
       | Error e ->
           prerr_endline e;
@@ -258,7 +347,8 @@ let transpile_file_cmd path topology size router seed trials workers qasm lint t
       | Ok router -> begin
           let params = { Qroute.Engine.default_params with seed } in
           match
-            with_obs ~trace ~times:trace_times ~record ~fmt (fun () ->
+            with_obs ~trace ~times:trace_times ~record ~fmt ~metrics ~wide ~sample
+              (fun () ->
                 Qroute.Pipeline.transpile ~params ~calibration:cal ~trials ?workers ~router
                   coupling circuit)
           with
@@ -267,7 +357,7 @@ let transpile_file_cmd path topology size router seed trials workers qasm lint t
                 (Qlint.Diagnostic.error ~loc:(Qlint.Diagnostic.Stage "route")
                    ~rule:"route.stuck" (Printexc.to_string e));
               1
-          | r ->
+          | r, trace_v, totals ->
           Printf.printf "input:           %s (%d qubits, %d ops)\n" path
             (Qcircuit.Circuit.n_qubits circuit)
             (Qcircuit.Circuit.size circuit);
@@ -277,7 +367,16 @@ let transpile_file_cmd path topology size router seed trials workers qasm lint t
           Printf.printf "wall time:       %.3f s\n" r.transpile_time;
           print_trial_stats r;
           if qasm then print_string (Qcircuit.Qasm.to_string r.circuit);
-          if lint then lint_result coupling r else 0
+          let lint_diags = if lint then Some (lint_result coupling r) else None in
+          Option.iter
+            (fun dest ->
+              emit_wide ~dest ~label:(Filename.basename path) ~router:router_name
+                ~topology ~trials ~workers ~seed ~original:circuit ~trace:trace_v ~totals
+                ~lint_diags ~times:trace_times r)
+            wide;
+          (match lint_diags with
+          | Some d when Qlint.Diagnostic.has_errors d -> 1
+          | _ -> 0)
         end
     end
 
@@ -521,7 +620,7 @@ let transpile_t =
   Term.(
     const transpile_cmd $ benchmark_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
     $ trials_arg $ workers_arg $ qasm_arg $ lint_arg $ trace_arg $ trace_times_arg
-    $ record_arg $ trace_format_arg)
+    $ record_arg $ trace_format_arg $ metrics_arg $ wide_arg $ sample_arg)
 
 let cmd_transpile =
   Cmd.v (Cmd.info "transpile" ~doc:"Transpile a benchmark and report metrics") transpile_t
@@ -532,7 +631,7 @@ let transpile_file_t =
   Term.(
     const transpile_file_cmd $ file_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
     $ trials_arg $ workers_arg $ qasm_arg $ lint_arg $ trace_arg $ trace_times_arg
-    $ record_arg $ trace_format_arg)
+    $ record_arg $ trace_format_arg $ metrics_arg $ wide_arg $ sample_arg)
 
 let cmd_transpile_file =
   Cmd.v

@@ -84,6 +84,18 @@ let g_swaps = Qobs.gauge "trial.n_swaps"
 let g_routed_cx = Qobs.gauge "trial.routed_cx"
 let g_realized = Qobs.gauge "trial.realized_cnot_savings"
 
+(* job-level input gauges for the Qtel telemetry layer (metrics exposition
+   and wide events).  Deterministic — a pure function of the input circuit
+   and the requested trial count — but recorded only under the
+   extended-metrics opt-in so pre-Qtel trace exports stay byte-identical.
+   The worker count is deliberately NOT recorded: every recorded series
+   must be invariant under the worker count. *)
+let g_gates_in = Qobs.gauge "pipeline.gates_in"
+let g_cx_in = Qobs.gauge "pipeline.cx_in"
+let g_depth_in = Qobs.gauge "pipeline.depth_in"
+let g_qubits_in = Qobs.gauge "pipeline.qubits_in"
+let g_trials_req = Qobs.gauge "pipeline.trials"
+
 let transpile ?(params = Engine.default_params) ?calibration ?(trials = 1) ?workers ~router
     coupling circuit =
   if trials < 1 then invalid_arg "Pipeline.transpile: trials must be >= 1";
@@ -94,6 +106,13 @@ let transpile ?(params = Engine.default_params) ?calibration ?(trials = 1) ?work
   if Qobs.active () then begin
     Qpasses.Commutation.reset_cache ();
     Nassc.reset_weyl_cache ()
+  end;
+  if Qobs.active () && Qobs.extended_metrics_enabled () then begin
+    Qobs.gauge_set g_gates_in (float_of_int (Qcircuit.Circuit.size circuit));
+    Qobs.gauge_set g_cx_in (float_of_int (Qcircuit.Circuit.cx_count circuit));
+    Qobs.gauge_set g_depth_in (float_of_int (Qcircuit.Circuit.depth circuit));
+    Qobs.gauge_set g_qubits_in (float_of_int (Qcircuit.Circuit.n_qubits circuit));
+    Qobs.gauge_set g_trials_req (float_of_int trials)
   end;
   let wall0 = Unix.gettimeofday () in
   let cpu0 = Sys.time () in

@@ -77,6 +77,12 @@ let better a b =
 let c_ok = Qobs.counter "trials.ok"
 let c_failed = Qobs.counter "trials.failed"
 
+(* live trial count across every pool in the process, for the Qtel resource
+   sampler: a plain atomic the sampler domain polls, never part of a trace
+   (it would differ between worker counts and break trace determinism) *)
+let inflight_counter = Atomic.make 0
+let inflight () = Atomic.get inflight_counter
+
 let run ?workers ~n ~base_seed ~measure f =
   if n < 1 then invalid_arg "Trials.run: n must be >= 1";
   let workers =
@@ -99,6 +105,8 @@ let run ?workers ~n ~base_seed ~measure f =
     map ~workers ~n (fun k ->
         let seed = trial_seed ~base:base_seed k in
         let t0 = Unix.gettimeofday () in
+        Atomic.incr inflight_counter;
+        Fun.protect ~finally:(fun () -> Atomic.decr inflight_counter) @@ fun () ->
         let body () =
           match parent_collector with
           | None -> f ~trial:k ~seed

@@ -36,6 +36,12 @@ val trial_seed : base:int -> int -> int
 val default_workers : unit -> int
 (** [Domain.recommended_domain_count ()], floored at 1. *)
 
+val inflight : unit -> int
+(** Number of trials executing right now, across every pool in the
+    process.  A lock-free probe for the Qtel resource sampler's
+    pool-utilization gauge; 0 whenever no {!run} or {!map} is active.
+    Deliberately kept out of traces — its value depends on scheduling. *)
+
 val map : ?workers:int -> n:int -> (int -> 'a) -> ('a, exn) result array
 (** [map ~workers ~n f] evaluates [f k] for [k = 0..n-1] on a pool of
     [workers] domains (default {!default_workers}, capped at [n]) and

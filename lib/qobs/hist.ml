@@ -93,17 +93,26 @@ let representative t i =
     clamp (sqrt (a *. b))
 
 let percentile t p =
-  if t.n = 0 then nan
+  if t.n = 0 || Float.is_nan p then nan
   else begin
-    let rank =
-      let r = int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.n)) in
-      if r < 1 then 1 else if r > t.n then t.n else r
-    in
-    let rec find i cum =
-      if i >= n_buckets then t.vmax
-      else
-        let cum = cum + t.counts.(i) in
-        if cum >= rank then representative t i else find (i + 1) cum
-    in
-    find 0 0
+    (* out-of-range requests clamp to the data extremes, and the extremes
+       themselves are answered exactly: p <= 0 is the observed minimum,
+       p >= 100 the observed maximum (a bucket midpoint would land strictly
+       inside the range and mis-report both) *)
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    if p <= 0.0 then t.vmin
+    else if p >= 100.0 then t.vmax
+    else begin
+      let rank =
+        let r = int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.n)) in
+        if r < 1 then 1 else if r > t.n then t.n else r
+      in
+      let rec find i cum =
+        if i >= n_buckets then t.vmax
+        else
+          let cum = cum + t.counts.(i) in
+          if cum >= rank then representative t i else find (i + 1) cum
+      in
+      find 0 0
+    end
   end

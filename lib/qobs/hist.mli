@@ -37,8 +37,11 @@ val mean : t -> float
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [0, 100]: the representative value
     (geometric bucket midpoint, clamped to the observed min/max) of the
-    bucket holding the rank [ceil (p/100 * n)] observation. [nan] when
-    empty. *)
+    bucket holding the rank [ceil (p/100 * n)] observation.  Edge cases
+    are exact and total: [nan] when empty or when [p] is NaN; [p <= 0]
+    reports {!min_value} and [p >= 100] reports {!max_value} (out-of-range
+    [p] clamps into [0, 100]); a single observation reports itself at
+    every percentile. *)
 
 val merge_into : into:t -> t -> unit
 val merge : t -> t -> t

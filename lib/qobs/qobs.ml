@@ -57,6 +57,20 @@ let timing_flag = Atomic.make false
 let set_timing b = Atomic.set timing_flag b
 let timing_enabled () = Atomic.get timing_flag
 
+(* ---- extended (telemetry) metrics opt-in ----
+
+   The Qtel layer wants a handful of extra gauges recorded by the pipeline
+   (input circuit size, requested trial count) that older traces never
+   carried.  They are deterministic, but unconditionally recording them
+   would change the bytes of every existing `--trace` export, so they hide
+   behind the same process-wide opt-in discipline as [set_timing]: off by
+   default, flipped on by `--metrics` / `--wide-events` / the telemetry
+   benches. *)
+
+let extended_flag = Atomic.make false
+let set_extended_metrics b = Atomic.set extended_flag b
+let extended_metrics_enabled () = Atomic.get extended_flag
+
 let registered reg =
   Mutex.protect registry_lock (fun () -> Array.sub reg.names 0 reg.count)
 
@@ -256,7 +270,16 @@ module Trace = struct
 
   let of_root root = { root }
 
-  let collectors t = t.root :: Collector.children t.root
+  (* preorder over the whole collector tree: the root, then each child's
+     subtree in merge order.  Depth used to be at most 1 (a pipeline root
+     plus its per-trial children), for which this reduces to the old
+     root-then-children list byte for byte; the bench harnesses now also
+     build session-level collectors whose children are themselves roots of
+     per-run trees, and those grandchildren must not be dropped from
+     counter totals or exports. *)
+  let collectors t =
+    let rec walk acc c = List.fold_left walk (c :: acc) (Collector.children c) in
+    List.rev (walk [] t.root)
 
   let counters_total t =
     let names = registered counter_reg in
@@ -460,11 +483,16 @@ module Trace = struct
       Format.fprintf fmt "%s@." (String.make (width + 13) '-');
       List.iter (fun (name, v) -> Format.fprintf fmt "%-*s %12d@." width name v) nonzero
     end;
+    (* name-major, then trial: every gauge's per-trial values read as one
+       contiguous block, and the ordering is a pure function of the trace
+       (never of hash-table iteration or collector construction order) *)
     let gauge_rows =
       List.concat_map
         (fun c ->
           List.map (fun (name, v) -> (Collector.trial c, name, v)) (Collector.gauges c))
         (collectors t)
+      |> List.sort (fun (t1, n1, _) (t2, n2, _) ->
+             match compare (n1 : string) n2 with 0 -> compare t1 t2 | c -> c)
     in
     if gauge_rows <> [] then begin
       Format.fprintf fmt "@.%-*s %8s %12s@." width "gauge" "trial" "value";

@@ -1,0 +1,243 @@
+(* Validator for Prometheus/OpenMetrics text pages.
+
+   Hand-rolled line parser: the format is simple enough (one sample or
+   comment per line) that a few string scans beat pulling in a grammar, and
+   the validator must not depend on the exporter it is checking. *)
+
+type error = { line : int; msg : string }
+
+type sample = { s_line : int; s_name : string; s_labels : (string * string) list; s_value : float }
+
+let name_ok name =
+  name <> ""
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+(* split a k1=...,k2=... label body with quoted values; values may contain
+   anything except an unescaped quote, and we unescape backslash sequences *)
+let parse_labels lineno s =
+  let fail msg = Error { line = lineno; msg } in
+  let n = String.length s in
+  let rec pairs i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match String.index_from_opt s i '=' with
+      | None -> fail "label without '='"
+      | Some eq ->
+          let key = String.sub s i (eq - i) in
+          if eq + 1 >= n || s.[eq + 1] <> '"' then fail "label value not quoted"
+          else begin
+            let b = Buffer.create 16 in
+            let rec scan j =
+              if j >= n then fail "unterminated label value"
+              else
+                match s.[j] with
+                | '\\' when j + 1 < n ->
+                    Buffer.add_char b
+                      (match s.[j + 1] with 'n' -> '\n' | c -> c);
+                    scan (j + 2)
+                | '"' -> Ok j
+                | c ->
+                    Buffer.add_char b c;
+                    scan (j + 1)
+            in
+            match scan (eq + 2) with
+            | Error e -> Error e
+            | Ok close ->
+                let acc = (key, Buffer.contents b) :: acc in
+                if close + 1 >= n then Ok (List.rev acc)
+                else if s.[close + 1] = ',' then pairs (close + 2) acc
+                else fail "garbage after label value"
+          end
+  in
+  pairs 0 []
+
+let parse_sample lineno line =
+  let fail msg = Error { line = lineno; msg } in
+  match String.index_opt line '{' with
+  | Some brace -> begin
+      match String.rindex_opt line '}' with
+      | None -> fail "unmatched '{'"
+      | Some close when close < brace -> fail "unmatched '{'"
+      | Some close ->
+          let name = String.sub line 0 brace in
+          let labels_s = String.sub line (brace + 1) (close - brace - 1) in
+          let rest = String.trim (String.sub line (close + 1) (String.length line - close - 1)) in
+          let value_s =
+            match String.index_opt rest ' ' with
+            | Some sp -> String.sub rest 0 sp (* a timestamp may follow *)
+            | None -> rest
+          in
+          (match parse_labels lineno labels_s with
+          | Error e -> Error e
+          | Ok labels -> (
+              match float_of_string_opt value_s with
+              | None -> fail (Printf.sprintf "value %S does not parse as a float" value_s)
+              | Some v ->
+                  Ok { s_line = lineno; s_name = name; s_labels = List.sort compare labels; s_value = v }))
+    end
+  | None -> (
+      match String.index_opt line ' ' with
+      | None -> fail "sample line without a value"
+      | Some sp ->
+          let name = String.sub line 0 sp in
+          let rest = String.trim (String.sub line (sp + 1) (String.length line - sp - 1)) in
+          let value_s =
+            match String.index_opt rest ' ' with Some i -> String.sub rest 0 i | None -> rest
+          in
+          (match float_of_string_opt value_s with
+          | None -> fail (Printf.sprintf "value %S does not parse as a float" value_s)
+          | Some v -> Ok { s_line = lineno; s_name = name; s_labels = []; s_value = v }))
+
+type decl = { d_line : int; d_name : string; d_value : string }
+
+(* split the page into TYPE decls, HELP decls and samples *)
+let scan page =
+  let types = ref [] and helps = ref [] and samples = ref [] and errs = ref [] in
+  let lines = String.split_on_char '\n' page in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line = "" || line = "# EOF" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        let rest = String.sub line 7 (String.length line - 7) in
+        match String.index_opt rest ' ' with
+        | None -> errs := { line = lineno; msg = "# TYPE without a kind" } :: !errs
+        | Some sp ->
+            types :=
+              {
+                d_line = lineno;
+                d_name = String.sub rest 0 sp;
+                d_value = String.trim (String.sub rest (sp + 1) (String.length rest - sp - 1));
+              }
+              :: !types
+      end
+      else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+        let rest = String.sub line 7 (String.length line - 7) in
+        let name = match String.index_opt rest ' ' with Some sp -> String.sub rest 0 sp | None -> rest in
+        helps := { d_line = lineno; d_name = name; d_value = "" } :: !helps
+      end
+      else if String.length line >= 1 && line.[0] = '#' then () (* other comment *)
+      else
+        match parse_sample lineno line with
+        | Ok s -> samples := s :: !samples
+        | Error e -> errs := e :: !errs)
+    lines;
+  (List.rev !types, List.rev !helps, List.rev !samples, List.rev !errs)
+
+let known_kinds = [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ]
+
+let strip_suffix name suffix =
+  let nl = String.length name and sl = String.length suffix in
+  if nl > sl && String.sub name (nl - sl) sl = suffix then Some (String.sub name 0 (nl - sl))
+  else None
+
+(* the family a series belongs to: histogram component suffixes map back to
+   the base name when (and only when) the base is declared a histogram *)
+let family_of types name =
+  let declared n = List.exists (fun d -> d.d_name = n) types in
+  let histo n =
+    List.exists (fun d -> d.d_name = n && d.d_value = "histogram") types
+  in
+  let try_suffix suffix =
+    match strip_suffix name suffix with Some base when histo base -> Some base | _ -> None
+  in
+  if declared name then Some name
+  else
+    match try_suffix "_bucket" with
+    | Some b -> Some b
+    | None -> (
+        match try_suffix "_sum" with
+        | Some b -> Some b
+        | None -> ( match try_suffix "_count" with Some b -> Some b | None -> None))
+
+let lint page =
+  let types, helps, samples, errs = scan page in
+  let errs = ref errs in
+  let err line fmt = Printf.ksprintf (fun msg -> errs := { line; msg } :: !errs) fmt in
+  (* declarations *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      if not (name_ok d.d_name) then err d.d_line "invalid metric name %S" d.d_name;
+      if not (List.mem d.d_value known_kinds) then
+        err d.d_line "unknown TYPE kind %S for %s" d.d_value d.d_name;
+      if Hashtbl.mem seen d.d_name then err d.d_line "duplicate # TYPE for %s" d.d_name;
+      Hashtbl.replace seen d.d_name ())
+    types;
+  let seen_help = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem seen_help d.d_name then err d.d_line "duplicate # HELP for %s" d.d_name;
+      Hashtbl.replace seen_help d.d_name ())
+    helps;
+  (* samples: naming, family membership, duplicates *)
+  let series_seen = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      if not (name_ok s.s_name) then err s.s_line "invalid metric name %S" s.s_name;
+      (match family_of types s.s_name with
+      | None -> err s.s_line "series %s has no # TYPE declaration" s.s_name
+      | Some fam ->
+          if not (List.exists (fun d -> d.d_name = fam) helps) then
+            err s.s_line "series %s has no # HELP declaration" s.s_name);
+      let key = (s.s_name, s.s_labels) in
+      if Hashtbl.mem series_seen key then
+        err s.s_line "duplicate series %s{%s}" s.s_name
+          (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) s.s_labels));
+      Hashtbl.replace series_seen key ())
+    samples;
+  (* histograms: cumulative monotone buckets, +Inf present and = _count *)
+  List.iter
+    (fun d ->
+      if d.d_value = "histogram" then begin
+        let bucket_name = d.d_name ^ "_bucket" in
+        let buckets =
+          List.filter_map
+            (fun s ->
+              if s.s_name = bucket_name then
+                match List.assoc_opt "le" s.s_labels with
+                | Some le -> Some (le, s)
+                | None ->
+                    err s.s_line "bucket of %s without an le label" d.d_name;
+                    None
+              else None)
+            samples
+        in
+        let le_value = function
+          | "+Inf" -> infinity
+          | le -> ( match float_of_string_opt le with Some f -> f | None -> nan)
+        in
+        let sorted =
+          List.sort (fun (a, _) (b, _) -> compare (le_value a) (le_value b)) buckets
+        in
+        let rec monotone = function
+          | (le1, s1) :: ((_, s2) :: _ as rest) ->
+              if s2.s_value < s1.s_value then
+                err s2.s_line "histogram %s buckets not cumulative after le=%s" d.d_name le1;
+              monotone rest
+          | _ -> ()
+        in
+        monotone sorted;
+        (match List.assoc_opt "+Inf" (List.map (fun (le, s) -> (le, s)) buckets) with
+        | None -> err d.d_line "histogram %s has no le=\"+Inf\" bucket" d.d_name
+        | Some inf_bucket -> (
+            match List.find_opt (fun s -> s.s_name = d.d_name ^ "_count") samples with
+            | Some count when count.s_value <> inf_bucket.s_value ->
+                err inf_bucket.s_line "histogram %s +Inf bucket (%g) <> _count (%g)"
+                  d.d_name inf_bucket.s_value count.s_value
+            | Some _ -> ()
+            | None -> err d.d_line "histogram %s has no _count series" d.d_name))
+      end)
+    types;
+  List.sort (fun a b -> compare (a.line, a.msg) (b.line, b.msg)) !errs
+
+let parse_series page =
+  let _, _, samples, errs = scan page in
+  (match errs with
+  | [] -> ()
+  | e :: _ -> failwith (Printf.sprintf "line %d: %s" e.line e.msg));
+  List.map (fun s -> (s.s_name, s.s_labels, s.s_value)) samples

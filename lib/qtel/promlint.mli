@@ -1,0 +1,26 @@
+(** Self-check for the exposition text {!Expose} emits (and for any
+    Prometheus/OpenMetrics page): a promlint-style validator run in tests
+    and, as a safety net, after every [--metrics] dump.
+
+    Checks performed:
+    - series and declared names match the metric-name charset
+      [[a-zA-Z_:][a-zA-Z0-9_:]*];
+    - every series belongs to a family with exactly one [# TYPE] and one
+      [# HELP] declaration (histogram [_bucket]/[_sum]/[_count] suffixes
+      resolve to their base family);
+    - [# TYPE] kinds are one of counter/gauge/histogram/summary/untyped;
+    - no duplicate series (same name and label set);
+    - sample values parse as floats;
+    - histogram buckets are cumulative: counts are non-decreasing in
+      [le] order, an [le="+Inf"] bucket exists and equals [_count]. *)
+
+type error = { line : int;  (** 1-based line in the page; 0 = page-level *) msg : string }
+
+val lint : string -> error list
+(** All violations found, in line order; [[]] means the page is clean. *)
+
+val parse_series : string -> (string * (string * string) list * float) list
+(** The raw samples of a page — [(name, sorted labels, value)] per series
+    line, comment/blank lines skipped.  This is what the round-trip tests
+    use to cross-check exposition values against the Qobs registry.
+    @raise Failure on lines that do not parse as samples. *)

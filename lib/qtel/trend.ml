@@ -1,0 +1,282 @@
+(* Cross-run trend analysis over BENCH_*.json snapshots.
+
+   Reuses Qbench.Jsonlite for parsing so the trend tool reads exactly what
+   the regress harness writes, with no second JSON dialect. *)
+
+module J = Qbench.Jsonlite
+
+type key = { suite : string; circuit : string; topology : string; router : string }
+
+type metrics = { cx_total : float; depth : float; n_swaps : float; wall_s : float }
+
+type snapshot = {
+  file : string;
+  sha : string;
+  mtime : float;
+  rows : (key * metrics) list;
+}
+
+type thresholds = {
+  max_wall_pct : float;
+  max_cx_pct : float;
+  max_depth_pct : float;
+  max_swaps_pct : float;
+}
+
+let default_thresholds =
+  { max_wall_pct = 25.0; max_cx_pct = 2.0; max_depth_pct = 5.0; max_swaps_pct = 10.0 }
+
+let min_history = 2
+
+type delta = {
+  metric : string;
+  latest : float;
+  median : float;
+  pct : float;
+  limit : float;
+  anomaly : bool;
+}
+
+type series = { s_key : key; history : int; deltas : delta list }
+
+type report = { window : int; snapshots : snapshot list; series : series list }
+
+(* ---- snapshot loading ---- *)
+
+let parse_snapshot ~file ~mtime body =
+  match J.of_string body with
+  | exception J.Parse_error m -> Error (Printf.sprintf "parse error: %s" m)
+  | json -> (
+      let str k = Option.bind (J.member k json) J.to_string in
+      match Option.bind (J.member "kind" json) J.to_string with
+      | Some k when k <> "nassc-bench-regress" -> Error (Printf.sprintf "kind %S" k)
+      | None -> Error "missing kind"
+      | Some _ -> (
+          let suite = Option.value ~default:"?" (str "suite") in
+          let topology = Option.value ~default:"?" (str "topology") in
+          let sha = Option.value ~default:"?" (str "git_sha") in
+          match Option.bind (J.member "circuits" json) J.to_list with
+          | None -> Error "missing circuits array"
+          | Some circuits ->
+              let rows =
+                List.filter_map
+                  (fun c ->
+                    let s k = Option.bind (J.member k c) J.to_string in
+                    let f k = Option.bind (J.member k c) J.to_float in
+                    match (s "name", s "router", f "cx_total", f "depth", f "n_swaps", f "wall_s") with
+                    | Some circuit, Some router, Some cx_total, Some depth, Some n_swaps, Some wall_s
+                      ->
+                        Some
+                          ( { suite; circuit; topology; router },
+                            { cx_total; depth; n_swaps; wall_s } )
+                    | _ -> None)
+                  circuits
+              in
+              if rows = [] then Error "no complete circuit rows"
+              else Ok { file; sha; mtime; rows }))
+
+let load_dir dir =
+  let is_snapshot name =
+    String.length name > 6
+    && String.sub name 0 6 = "BENCH_"
+    && Filename.check_suffix name ".json"
+  in
+  let entries =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> []
+    | names -> List.filter is_snapshot (Array.to_list names)
+  in
+  let loaded, skipped =
+    List.fold_left
+      (fun (ok, bad) name ->
+        let path = Filename.concat dir name in
+        let body =
+          let ic = open_in_bin path in
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          s
+        in
+        match parse_snapshot ~file:name ~mtime:(Unix.stat path).Unix.st_mtime body with
+        | Ok snap -> (snap :: ok, bad)
+        | Error reason -> (ok, (name, reason) :: bad))
+      ([], []) entries
+  in
+  ( List.sort (fun a b -> compare (a.mtime, a.file) (b.mtime, b.file)) loaded,
+    List.sort compare skipped )
+
+(* ---- analysis ---- *)
+
+let median = function
+  | [] -> nan
+  | vs ->
+      let a = Array.of_list vs in
+      Array.sort compare a;
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else 0.5 *. (a.((n / 2) - 1) +. a.(n / 2))
+
+let pct_delta reference latest =
+  if reference = 0.0 then if latest = 0.0 then 0.0 else infinity
+  else 100.0 *. (latest -. reference) /. reference
+
+let compare_key a b =
+  compare (a.suite, a.circuit, a.topology, a.router) (b.suite, b.circuit, b.topology, b.router)
+
+let analyze ?(window = 5) ?(thresholds = default_thresholds) snapshots =
+  match List.rev snapshots with
+  | [] | [ _ ] -> { window; snapshots; series = [] }
+  | current :: older_rev ->
+      let recent = List.filteri (fun i _ -> i < window) older_rev in
+      let metric_specs =
+        [
+          ("cx_total", (fun m -> m.cx_total), thresholds.max_cx_pct);
+          ("depth", (fun m -> m.depth), thresholds.max_depth_pct);
+          ("n_swaps", (fun m -> m.n_swaps), thresholds.max_swaps_pct);
+          ("wall_s", (fun m -> m.wall_s), thresholds.max_wall_pct);
+        ]
+      in
+      let series =
+        List.map
+          (fun (k, cur) ->
+            (* oldest-first history of this series within the window *)
+            let history =
+              List.rev
+                (List.filter_map
+                   (fun snap ->
+                     List.find_opt (fun (k', _) -> compare_key k k' = 0) snap.rows
+                     |> Option.map snd)
+                   recent)
+            in
+            let deltas =
+              List.map
+                (fun (metric, get, limit) ->
+                  let values = List.map get history in
+                  let latest = get cur in
+                  let med = median values in
+                  let pct = if values = [] then 0.0 else pct_delta med latest in
+                  {
+                    metric;
+                    latest;
+                    median = med;
+                    pct;
+                    limit;
+                    anomaly = List.length values >= min_history && pct > limit;
+                  })
+                metric_specs
+            in
+            { s_key = k; history = List.length history; deltas })
+          (List.sort (fun (a, _) (b, _) -> compare_key a b) current.rows)
+      in
+      { window; snapshots; series }
+
+let anomalies report =
+  List.concat_map
+    (fun s -> List.filter_map (fun d -> if d.anomaly then Some (s.s_key, d) else None) s.deltas)
+    report.series
+
+(* ---- rendering ---- *)
+
+let pp_pct pct =
+  if Float.is_nan pct then "n/a"
+  else if Float.is_integer pct && Float.abs pct < 1e6 then Printf.sprintf "%+.0f%%" pct
+  else Printf.sprintf "%+.1f%%" pct
+
+let to_markdown report =
+  let b = Buffer.create 4096 in
+  let an = anomalies report in
+  Buffer.add_string b "# Bench trend report\n\n";
+  Buffer.add_string b
+    (Printf.sprintf "%d snapshot(s), window %d, %d series, %d anomal%s\n\n"
+       (List.length report.snapshots) report.window (List.length report.series)
+       (List.length an)
+       (if List.length an = 1 then "y" else "ies"));
+  Buffer.add_string b "## Snapshots (oldest first)\n\n";
+  Buffer.add_string b "| file | git sha | rows |\n|---|---|---|\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "| %s | %s | %d |\n" s.file s.sha (List.length s.rows)))
+    report.snapshots;
+  if report.series <> [] then begin
+    Buffer.add_string b "\n## Newest snapshot vs rolling median\n\n";
+    Buffer.add_string b
+      "| suite | circuit | topology | router | hist | cx | depth | swaps | wall |\n\
+       |---|---|---|---|---|---|---|---|---|\n";
+    List.iter
+      (fun s ->
+        let cell metric =
+          match List.find_opt (fun d -> d.metric = metric) s.deltas with
+          | None -> "n/a"
+          | Some d ->
+              if s.history < min_history then "n/a"
+              else if d.anomaly then Printf.sprintf "**%s**" (pp_pct d.pct)
+              else pp_pct d.pct
+        in
+        Buffer.add_string b
+          (Printf.sprintf "| %s | %s | %s | %s | %d | %s | %s | %s | %s |\n"
+             s.s_key.suite s.s_key.circuit s.s_key.topology s.s_key.router s.history
+             (cell "cx_total") (cell "depth") (cell "n_swaps") (cell "wall_s")))
+      report.series
+  end;
+  Buffer.add_string b "\n## Anomalies\n\n";
+  if an = [] then Buffer.add_string b "none\n"
+  else
+    List.iter
+      (fun (k, d) ->
+        Buffer.add_string b
+          (Printf.sprintf "- `%s/%s` on %s (%s): %s = %s vs median %s (%s, limit +%.0f%%)\n"
+             k.circuit k.router k.topology k.suite d.metric
+             (J.number_to_string d.latest) (J.number_to_string d.median) (pp_pct d.pct)
+             d.limit))
+      an;
+  Buffer.contents b
+
+let to_json report =
+  let num f = J.Num f in
+  let json =
+    J.Obj
+      [
+        ("kind", J.Str "nassc-trend");
+        ("schema_version", num 1.0);
+        ("window", num (float_of_int report.window));
+        ( "snapshots",
+          J.List
+            (List.map
+               (fun s ->
+                 J.Obj
+                   [
+                     ("file", J.Str s.file);
+                     ("git_sha", J.Str s.sha);
+                     ("rows", num (float_of_int (List.length s.rows)));
+                   ])
+               report.snapshots) );
+        ( "series",
+          J.List
+            (List.map
+               (fun s ->
+                 J.Obj
+                   [
+                     ("suite", J.Str s.s_key.suite);
+                     ("circuit", J.Str s.s_key.circuit);
+                     ("topology", J.Str s.s_key.topology);
+                     ("router", J.Str s.s_key.router);
+                     ("history", num (float_of_int s.history));
+                     ( "deltas",
+                       J.List
+                         (List.map
+                            (fun d ->
+                              J.Obj
+                                [
+                                  ("metric", J.Str d.metric);
+                                  ("latest", num d.latest);
+                                  ("median", num d.median);
+                                  ("pct", num d.pct);
+                                  ("limit", num d.limit);
+                                  ("anomaly", J.Bool d.anomaly);
+                                ])
+                            s.deltas) );
+                   ])
+               report.series) );
+        ("anomalies", num (float_of_int (List.length (anomalies report))));
+      ]
+  in
+  J.serialize ~indent:2 json

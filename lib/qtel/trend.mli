@@ -1,0 +1,76 @@
+(** Cross-run trend analysis over [BENCH_<sha>*.json] regression snapshots.
+
+    [bench --regress] writes one snapshot per run; point-in-time baseline
+    comparison catches step regressions but is blind to slow drift and to
+    one-off outliers.  This module ingests a directory of snapshots,
+    aligns rows by (suite, circuit, topology, router), and compares the
+    newest snapshot's metrics against the rolling median of the preceding
+    window — the median makes the reference robust to a single noisy run.
+
+    A series is flagged anomalous only when (a) at least
+    {!min_history} prior observations exist, and (b) the positive delta
+    vs the median exceeds that metric's threshold.  Wall time gets a loose
+    threshold (machines differ); cx/depth/swaps are deterministic for a
+    fixed seed, so their thresholds are tight. *)
+
+type key = { suite : string; circuit : string; topology : string; router : string }
+
+type metrics = { cx_total : float; depth : float; n_swaps : float; wall_s : float }
+
+type snapshot = {
+  file : string;  (** basename of the snapshot file *)
+  sha : string;  (** [git_sha] recorded in the snapshot *)
+  mtime : float;
+  rows : (key * metrics) list;
+}
+
+type thresholds = {
+  max_wall_pct : float;
+  max_cx_pct : float;
+  max_depth_pct : float;
+  max_swaps_pct : float;
+}
+
+val default_thresholds : thresholds
+(** wall +25%, cx +2%, depth +5%, swaps +10%. *)
+
+val min_history : int
+(** Prior observations required before a series can be flagged (2). *)
+
+type delta = {
+  metric : string;  (** ["cx_total"] etc. *)
+  latest : float;
+  median : float;  (** rolling median of the history window *)
+  pct : float;  (** percent change of [latest] vs [median]; 0 when both 0 *)
+  limit : float;
+  anomaly : bool;
+}
+
+type series = { s_key : key; history : int; deltas : delta list }
+
+type report = {
+  window : int;
+  snapshots : snapshot list;  (** chronological, the last one is "current" *)
+  series : series list;  (** sorted by key; only series present in the newest snapshot *)
+}
+
+val parse_snapshot : file:string -> mtime:float -> string -> (snapshot, string) result
+(** Parse one [BENCH_*.json] snapshot body ([Error] explains why not). *)
+
+val load_dir : string -> snapshot list * (string * string) list
+(** All [BENCH_*.json] snapshots in a directory, sorted oldest-first by
+    (mtime, name) so equal timestamps still order deterministically, plus
+    the (file, reason) list of files that failed to parse. *)
+
+val analyze : ?window:int -> ?thresholds:thresholds -> snapshot list -> report
+(** Compare the newest snapshot against the rolling median of up to
+    [window] (default 5) preceding snapshots.  Fewer than two snapshots
+    produce a report with no series. *)
+
+val anomalies : report -> (key * delta) list
+(** The flagged (series, metric) pairs of a report. *)
+
+val to_markdown : report -> string
+
+val to_json : report -> string
+(** Machine-readable report (kind ["nassc-trend"], schema_version 1). *)

@@ -180,6 +180,60 @@ let test_hist_percentiles_sane () =
   check "p100 clamped to max" true (Qobs.Hist.percentile h 100.0 <= 1000.0);
   check "monotone" true (p50 <= p99)
 
+let test_hist_percentile_edges () =
+  let checkf = Alcotest.(check (float 1e-9)) in
+  (* empty: every percentile is nan, min/max are the identity elements *)
+  let empty = Qobs.Hist.create () in
+  check "empty p50 is nan" true (Float.is_nan (Qobs.Hist.percentile empty 50.0));
+  check "empty p0 is nan" true (Float.is_nan (Qobs.Hist.percentile empty 0.0));
+  check "empty p100 is nan" true (Float.is_nan (Qobs.Hist.percentile empty 100.0));
+  (* single observation: reports itself everywhere *)
+  let one = hist_of [ 42.0 ] in
+  List.iter
+    (fun p -> checkf "single obs at every p" 42.0 (Qobs.Hist.percentile one p))
+    [ 0.0; 1.0; 50.0; 99.0; 100.0 ];
+  (* exact endpoints: p<=0 is min_value, p>=100 is max_value, out-of-range
+     clamps instead of crashing, NaN p answers nan *)
+  let h = hist_of [ 1.0; 10.0; 100.0 ] in
+  checkf "p0 = min" (Qobs.Hist.min_value h) (Qobs.Hist.percentile h 0.0);
+  checkf "p100 = max" (Qobs.Hist.max_value h) (Qobs.Hist.percentile h 100.0);
+  checkf "p<0 clamps to min" (Qobs.Hist.min_value h) (Qobs.Hist.percentile h (-7.0));
+  checkf "p>100 clamps to max" (Qobs.Hist.max_value h) (Qobs.Hist.percentile h 250.0);
+  check "nan p is nan" true (Float.is_nan (Qobs.Hist.percentile h Float.nan))
+
+(* pp_summary renders counters, gauges and histograms in name order so two
+   runs (or two readers) always see the same layout *)
+let test_pp_summary_deterministic_order () =
+  let ga = Qobs.gauge "test.pp.alpha" in
+  let gz = Qobs.gauge "test.pp.zeta" in
+  let gm = Qobs.gauge "test.pp.middle" in
+  let root = Qobs.Collector.create ~label:"pp" () in
+  Qobs.with_collector root (fun () ->
+      (* written in non-sorted order on purpose *)
+      Qobs.gauge_set gz 3.0;
+      Qobs.gauge_set ga 1.0;
+      Qobs.gauge_set gm 2.0);
+  let render () =
+    let buf = Buffer.create 256 in
+    let fmt = Format.formatter_of_buffer buf in
+    Qobs.Trace.pp_summary fmt (Qobs.Trace.of_root root);
+    Format.pp_print_flush fmt ();
+    Buffer.contents buf
+  in
+  let out = render () in
+  let pos affix =
+    let n = String.length affix in
+    let rec find i =
+      if i + n > String.length out then Alcotest.failf "missing %s in summary" affix
+      else if String.sub out i n = affix then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  check "gauges sorted by name" true
+    (pos "test.pp.alpha" < pos "test.pp.middle" && pos "test.pp.middle" < pos "test.pp.zeta");
+  check "summary stable across renders" true (String.equal out (render ()))
+
 (* the engine histograms only fire under a flight recorder; with one
    installed, the exported trace (spans + counters + hist lines) must stay
    byte-identical whatever the worker count *)
@@ -247,10 +301,14 @@ let () =
           Alcotest.test_case "merge associative and commutative" `Quick
             test_hist_merge_associative;
           Alcotest.test_case "percentiles sane" `Quick test_hist_percentiles_sane;
+          Alcotest.test_case "percentile edge cases" `Quick test_hist_percentile_edges;
           Alcotest.test_case "hists identical workers 1 vs 4" `Quick
             test_hists_identical_across_workers;
         ] );
       ( "export",
-        [ Alcotest.test_case "savings gauges exported" `Quick test_savings_gauges_exported ]
-      );
+        [
+          Alcotest.test_case "savings gauges exported" `Quick test_savings_gauges_exported;
+          Alcotest.test_case "pp_summary deterministic order" `Quick
+            test_pp_summary_deterministic_order;
+        ] );
     ]

@@ -1,0 +1,81 @@
+(* Standalone trend analyzer over BENCH_*.json regression snapshots.
+
+   Same engine as `bench --only history`, but with the thresholds exposed
+   and an opt-in failure mode, so CI and humans can run it over an archive
+   of snapshots without building the whole bench harness's inputs. *)
+
+let usage () =
+  print_endline
+    "usage: trend [--dir DIR] [--out BASE] [--window N] [--fail-on-anomaly]\n\
+     \            [--max-wall-pct P] [--max-cx-pct P] [--max-depth-pct P]\n\
+     \            [--max-swaps-pct P]\n\
+     Align every BENCH_*.json snapshot in DIR (default .) by\n\
+     (suite, circuit, topology, router), compare the newest against the\n\
+     rolling median of the preceding N (default 5), print a markdown report\n\
+     and, with --out BASE, write BASE.md and BASE.json.\n\
+     --fail-on-anomaly  exit 1 when any metric exceeds its threshold"
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let () =
+  let dir = ref "." in
+  let out = ref None in
+  let window = ref 5 in
+  let fail_on_anomaly = ref false in
+  let th = ref Qtel.Trend.default_thresholds in
+  let rec parse = function
+    | [] -> ()
+    | "--dir" :: v :: rest ->
+        dir := v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := Some v;
+        parse rest
+    | "--window" :: v :: rest ->
+        window := int_of_string v;
+        parse rest
+    | "--fail-on-anomaly" :: rest ->
+        fail_on_anomaly := true;
+        parse rest
+    | "--max-wall-pct" :: v :: rest ->
+        th := { !th with Qtel.Trend.max_wall_pct = float_of_string v };
+        parse rest
+    | "--max-cx-pct" :: v :: rest ->
+        th := { !th with Qtel.Trend.max_cx_pct = float_of_string v };
+        parse rest
+    | "--max-depth-pct" :: v :: rest ->
+        th := { !th with Qtel.Trend.max_depth_pct = float_of_string v };
+        parse rest
+    | "--max-swaps-pct" :: v :: rest ->
+        th := { !th with Qtel.Trend.max_swaps_pct = float_of_string v };
+        parse rest
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | x :: _ ->
+        Printf.eprintf "unknown argument %s\n" x;
+        usage ();
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let snapshots, skipped = Qtel.Trend.load_dir !dir in
+  List.iter
+    (fun (file, reason) -> Printf.eprintf "trend: skipping %s: %s\n" file reason)
+    skipped;
+  if snapshots = [] then begin
+    Printf.eprintf "trend: no BENCH_*.json snapshots in %s\n" !dir;
+    exit 2
+  end;
+  let report = Qtel.Trend.analyze ~window:!window ~thresholds:!th snapshots in
+  print_string (Qtel.Trend.to_markdown report);
+  (match !out with
+  | None -> ()
+  | Some base ->
+      write_file (base ^ ".md") (Qtel.Trend.to_markdown report);
+      write_file (base ^ ".json") (Qtel.Trend.to_json report);
+      Printf.eprintf "trend: wrote %s.md and %s.json\n" base base);
+  let n = List.length (Qtel.Trend.anomalies report) in
+  if n > 0 && !fail_on_anomaly then exit 1
