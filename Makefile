@@ -1,4 +1,4 @@
-.PHONY: all build test coverage fmt lint bench profile regress gap matrix verify metrics trend ci clean
+.PHONY: all build test coverage fmt lint bench profile regress gap matrix scaling verify metrics trend ci clean
 
 all: build
 
@@ -67,6 +67,14 @@ metrics:
 # the rolling median, write TREND_<sha>.md / TREND_<sha>.json
 trend:
 	dune exec bench/main.exe -- --only history --dir .
+
+# streaming scaling matrix: gates/sec and peak RSS for 10^4..10^5-gate
+# lazy streams over montreal/eagle/osprey through the O(window) engine;
+# writes BENCH_<sha>-scaling.json and exits non-zero if any 100k-gate
+# run's peak RSS exceeds 5x its 10k-gate counterpart (drop --quick for
+# the full matrix with the million-gate rows)
+scaling:
+	dune exec bench/main.exe -- --only scaling --quick
 
 # semantic verification: certify the whole routing-golden corpus with the
 # symbolic equivalence checker (certificates land in certs.jsonl), then

@@ -8,16 +8,17 @@ let usage () =
      \                      [--max-cx-regress PCT] [--max-depth-regress PCT]\n\
      \                      [--metrics FILE] [--wide-events FILE]\n\
      \       bench/main.exe --only history [--dir DIR] [--out BASE] [--window N]\n\
-     EXP: table1 table2 table3 table4 fig9 fig11a fig11b routers trials scaling\n\
-     \     gap matrix verify profile score timing history ablate-decomp\n\
-     \     ablate-lookahead all\n\
+     \       bench/main.exe --only scaling [--quick] [--out FILE]\n\
+     EXP: table1 table2 table3 table4 fig9 fig11a fig11b routers trials\n\
+     \     gap matrix verify profile score timing history scaling ablate-decomp\n\
+     \     ablate-lookahead all  (gap/matrix/verify/scaling are opt-in only)\n\
      --seeds N   routing seeds per benchmark (default 5; heavy circuits capped at 3)\n\
      --shots N   Monte-Carlo shots for fig11b (default 2048; paper used 8192)\n\
      --full      run heavy (RevLib-scale) benchmarks everywhere (default: tables only)\n\
      --timing    run the transpilation-latency micro-benchmarks (= --only timing)\n\
      --regress   run the regression suite, write BENCH_<git-sha>.json, compare\n\
      \            against the checked-in baseline and exit non-zero on regression\n\
-     --quick     with --regress: the six-circuit CI subset\n\
+     --quick     with --regress (six-circuit CI subset) or --only scaling (<= 10^5 gates)\n\
      --baseline FILE        baseline snapshot (default bench/baselines/regress-<suite>.json)\n\
      --out FILE             where to write the snapshot (default BENCH_<git-sha>.json)\n\
      --max-cx-regress PCT   allowed cx_total growth in percent (default 2.0)\n\
@@ -131,7 +132,9 @@ let () =
     if !only = "verify" then Verify.run ~out:!out ();
     if !only = "profile" then Profile.run ();
     if !only = "score" then Scorebench.run ?out:!out ();
-    if want "scaling" then Scaling.run ~seeds ();
+    (* streaming throughput/RSS matrix up to 433q and 10^6 gates: opt-in
+       only, and the RSS gate makes it exit non-zero on a memory blow-up *)
+    if !only = "scaling" then exit (Scaling.run ~quick:!quick ?out:!out ~seed:11 ());
     if want "ablate-decomp" then Ablations.ablate_decomposition ~seeds ();
     if want "ablate-lookahead" then Ablations.ablate_lookahead ~seeds ()
   end

@@ -8,7 +8,10 @@ let benchmark_arg =
   Arg.(value & opt string "VQE 8-qubits" & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
 
 let topology_arg =
-  let doc = "Device topology: montreal | linear | grid | full." in
+  let doc =
+    "Device topology: montreal | linear | ring | heavy_hex | grid | full | eagle (127q) \
+     | osprey (433q)."
+  in
   Arg.(value & opt string "montreal" & info [ "t"; "topology" ] ~docv:"TOPOLOGY" ~doc)
 
 let size_arg =
@@ -102,6 +105,20 @@ let sample_arg =
   in
   Arg.(
     value & opt ~vopt:(Some 10.0) (some float) None & info [ "sample" ] ~docv:"MS" ~doc)
+
+let stream_arg =
+  let doc =
+    "Stream the circuit through the O(window)-memory routing engine instead of the batch \
+     pipeline: gates are pulled through a bounded sliding DAG window and routed output \
+     is emitted in chunks, so peak memory is independent of circuit length.  Only \
+     whole-stream routers are supported (sabre, nassc and their -ha variants) and a \
+     single trial; pre/post optimization bundles are skipped."
+  in
+  Arg.(value & flag & info [ "stream" ] ~doc)
+
+let window_arg =
+  let doc = "Sliding DAG window size (gates resident) for --stream." in
+  Arg.(value & opt int 4096 & info [ "window" ] ~docv:"N" ~doc)
 
 let trace_format_arg =
   let doc =
@@ -250,8 +267,56 @@ let print_trial_stats (r : Qroute.Pipeline.result) =
       r.trial_stats
   end
 
+(* streaming mode: incompatible options are reported as located diagnostics
+   (rule route.stream-unsupported), never exceptions *)
+let stream_diag rule msg =
+  Format.eprintf "%a@." Qlint.Diagnostic.pp
+    (Qlint.Diagnostic.error ~loc:(Qlint.Diagnostic.Stage "route") ~rule msg);
+  1
+
+let run_stream ~router_name ~router ~trials ~window ~seed ~cal coupling label circuit =
+  if not (Qroute.Pipeline.streamable router) then
+    stream_diag "route.stream-unsupported"
+      (Printf.sprintf
+         "--stream needs a windowable router (sabre | nassc | sabre-ha | nassc-ha); %s \
+          requires the whole circuit"
+         router_name)
+  else if trials > 1 then
+    stream_diag "route.stream-unsupported" "--stream routes a single trial; drop --trials"
+  else if window < 1 then stream_diag "route.stream-unsupported" "--window must be >= 1"
+  else begin
+    let params = { Qroute.Engine.default_params with seed } in
+    let t0 = Unix.gettimeofday () in
+    let chunks = ref 0 in
+    match
+      Qroute.Pipeline.transpile_stream ~params ~calibration:cal ~window ~router
+        ~sink:(fun _ -> incr chunks)
+        coupling
+        (Qcircuit.Source.of_circuit circuit)
+    with
+    | exception (Qroute.Engine.Routing_stuck _ as e) ->
+        stream_diag "route.stuck" (Printexc.to_string e)
+    | r ->
+        let dt = Unix.gettimeofday () -. t0 in
+        let open Qroute.Pipeline in
+        Printf.printf "input:           %s (%d qubits, %d ops)\n" label
+          (Qcircuit.Circuit.n_qubits circuit)
+          (Qcircuit.Circuit.size circuit);
+        Printf.printf "topology:        %d qubits\n" (Topology.Coupling.n_qubits coupling);
+        Printf.printf "window:          %d gates (peak resident %d)\n" window
+          r.sr_peak_resident;
+        Printf.printf "gates in/out:    %d / %d (%d chunks)\n" r.sr_gates_in r.sr_gates_out
+          r.sr_chunks;
+        Printf.printf "cx_total:        %d\n" r.sr_cx_out;
+        Printf.printf "depth:           %d\n" r.sr_depth_out;
+        Printf.printf "swaps inserted:  %d\n" r.sr_n_swaps;
+        Printf.printf "wall time:       %.3f s (%.0f gates/s)\n" dt
+          (float_of_int r.sr_gates_in /. Float.max dt 1e-9);
+        0
+  end
+
 let transpile_cmd benchmark topology size router seed trials workers qasm lint trace
-    trace_times record fmt metrics wide sample =
+    trace_times record fmt metrics wide sample stream window =
   match
     Result.bind (check_pool_args trials workers) (fun () ->
         try Ok (Qbench.Suite.find benchmark)
@@ -273,8 +338,12 @@ let transpile_cmd benchmark topology size router seed trials workers qasm lint t
       | Error e ->
           prerr_endline e;
           1
-      | Ok router -> begin
+      | Ok router ->
           let circuit = entry.build () in
+          if stream then
+            run_stream ~router_name ~router ~trials ~window ~seed ~cal coupling entry.name
+              circuit
+          else begin
           let params = { Qroute.Engine.default_params with seed } in
           match
             with_obs ~trace ~times:trace_times ~record ~fmt ~metrics ~wide ~sample
@@ -321,7 +390,7 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
 let transpile_file_cmd path topology size router seed trials workers qasm lint trace
-    trace_times record fmt metrics wide sample =
+    trace_times record fmt metrics wide sample stream window =
   match
     Result.bind (check_pool_args trials workers) (fun () ->
         try Ok (Qcircuit.Qasm_parser.parse_file path) with
@@ -344,7 +413,11 @@ let transpile_file_cmd path topology size router seed trials workers qasm lint t
       | Error e ->
           prerr_endline e;
           1
-      | Ok router -> begin
+      | Ok router ->
+          if stream then
+            run_stream ~router_name ~router ~trials ~window ~seed ~cal coupling path
+              circuit
+          else begin
           let params = { Qroute.Engine.default_params with seed } in
           match
             with_obs ~trace ~times:trace_times ~record ~fmt ~metrics ~wide ~sample
@@ -620,7 +693,8 @@ let transpile_t =
   Term.(
     const transpile_cmd $ benchmark_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
     $ trials_arg $ workers_arg $ qasm_arg $ lint_arg $ trace_arg $ trace_times_arg
-    $ record_arg $ trace_format_arg $ metrics_arg $ wide_arg $ sample_arg)
+    $ record_arg $ trace_format_arg $ metrics_arg $ wide_arg $ sample_arg $ stream_arg
+    $ window_arg)
 
 let cmd_transpile =
   Cmd.v (Cmd.info "transpile" ~doc:"Transpile a benchmark and report metrics") transpile_t
@@ -631,7 +705,8 @@ let transpile_file_t =
   Term.(
     const transpile_file_cmd $ file_arg $ topology_arg $ size_arg $ router_arg $ seed_arg
     $ trials_arg $ workers_arg $ qasm_arg $ lint_arg $ trace_arg $ trace_times_arg
-    $ record_arg $ trace_format_arg $ metrics_arg $ wide_arg $ sample_arg)
+    $ record_arg $ trace_format_arg $ metrics_arg $ wide_arg $ sample_arg $ stream_arg
+    $ window_arg)
 
 let cmd_transpile_file =
   Cmd.v

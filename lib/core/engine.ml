@@ -65,15 +65,59 @@ let apply_swap m p1 p2 =
    walk a bounded window of recent ops on exactly two wires; with the
    per-wire tails they visit only ops touching those wires and use the
    emission index to honor the global window bound, instead of filtering
-   the whole stream with [touches]. *)
+   the whole stream with [touches].
+
+   A stream may carry a sink: once retained ops exceed [2 * keep], all but
+   the newest [keep] are handed to the sink oldest-first and dropped from
+   [s_rev] and the wire index, keeping resident memory O(keep) over
+   million-gate runs.  The bonus hooks only scan ops with emission index
+   >= total - scan_limit and only retro-mutate ops found by that scan, so
+   any [keep >= scan_limit + 1] makes flushing invisible to them. *)
 
 type stream = {
   mutable s_rev : out_op list;
   mutable s_total : int;
   s_wire : (int * out_op) list array;
+  s_sink : (out_op -> unit) option;
+  s_keep : int;
+  mutable s_oldest : int;  (* emission index of the oldest retained op *)
 }
 
-let stream_create ~n_phys = { s_rev = []; s_total = 0; s_wire = Array.make n_phys [] }
+let stream_create ?sink ?(keep = 64) ~n_phys () =
+  if keep < 1 then invalid_arg "Engine.stream_create: keep must be >= 1";
+  {
+    s_rev = [];
+    s_total = 0;
+    s_wire = Array.make n_phys [];
+    s_sink = sink;
+    s_keep = keep;
+    s_oldest = 0;
+  }
+
+(* split a list into its first [n] elements (order preserved) and the rest *)
+let rec take_rev n acc l =
+  if n = 0 then (acc, l)
+  else match l with [] -> (acc, []) | x :: tl -> take_rev (n - 1) (x :: acc) tl
+
+let maybe_flush s =
+  match s.s_sink with
+  | None -> ()
+  | Some sink ->
+      if s.s_total - s.s_oldest > 2 * s.s_keep then begin
+        (* [s_rev] is newest-first: the first [keep] entries stay resident,
+           the tail is delivered oldest-first and dropped *)
+        let kept_oldest_first, older_newest_first = take_rev s.s_keep [] s.s_rev in
+        List.iter sink (List.rev older_newest_first);
+        s.s_rev <- List.rev kept_oldest_first;
+        s.s_oldest <- s.s_total - s.s_keep;
+        let cut = s.s_oldest in
+        Array.iteri
+          (fun q entries ->
+            match entries with
+            | [] -> ()
+            | _ -> s.s_wire.(q) <- List.filter (fun (i, _) -> i >= cut) entries)
+          s.s_wire
+      end
 
 let stream_push s op =
   let idx = s.s_total in
@@ -81,7 +125,17 @@ let stream_push s op =
   s.s_total <- idx + 1;
   List.iter
     (fun q -> if q >= 0 && q < Array.length s.s_wire then s.s_wire.(q) <- (idx, op) :: s.s_wire.(q))
-    op.op_qubits
+    op.op_qubits;
+  maybe_flush s
+
+let stream_drain s =
+  match s.s_sink with
+  | None -> ()
+  | Some sink ->
+      List.iter sink (List.rev s.s_rev);
+      s.s_rev <- [];
+      s.s_oldest <- s.s_total;
+      Array.fill s.s_wire 0 (Array.length s.s_wire) []
 
 let stream_rev s = s.s_rev
 let stream_total s = s.s_total
@@ -103,6 +157,14 @@ type result = {
   n_swaps : int;
 }
 
+type stream_stats = {
+  st_initial_layout : int array;
+  st_final_layout : int array;
+  st_n_swaps : int;
+  st_gates_in : int;
+  st_peak_resident : int;
+}
+
 (* The canonical seed-derived streams.  [route_rng] replays the stream the
    engine historically created inside [route_once] ([Rng.create seed]);
    [layout_rng] the one [find_layout] used for its initial permutation
@@ -121,6 +183,7 @@ let c_force = Qobs.counter "engine.force_progress_escapes"
 let c_score_cache = Qobs.counter "engine.score_cache_hits"
 let c_legacy_dist = Qobs.counter "engine.legacy_distmat_routes"
 let g_predicted = Qobs.gauge "engine.predicted_cnot_savings"
+let g_window_peak = Qobs.gauge "engine.window_peak_resident"
 
 (* score-distribution histograms, fed only while the flight recorder is
    enabled so plain --trace output stays byte-identical to older builds *)
@@ -147,7 +210,12 @@ let h_score_time = Qobs.histogram "engine.step_score_ms"
    could differ from the rescan in the last ulp; the golden corpus pins
    the routed outputs for those too.  When a base sum is infinite
    (disconnected pairs) delta arithmetic would produce NaN, so scoring
-   falls back to the full rescan for that step. *)
+   falls back to the full rescan for that step.
+
+   Dense matrices keep the historical single-offset flat read; on-demand
+   matrices ([Distmat.hops_lazy], used by the streaming engine on
+   mega-scale devices) go through the row cache — same values, so scores
+   and outputs are unchanged either way. *)
 
 module Scoring = struct
   type scratch = {
@@ -157,8 +225,10 @@ module Scoring = struct
   }
 
   type t = {
-    d : float array;
+    d : float array;  (* dense flat backing, [||] for on-demand matrices *)
     dn : int;
+    dm : Distmat.t;
+    dense : bool;
     front : (int * int) list;
     ext : (int * int) list;
     base_front : float;
@@ -182,7 +252,10 @@ module Scoring = struct
         sc.touch_e.(q) <- [])
       sc.dirty;
     sc.dirty <- [];
-    let d = Distmat.raw dist and dn = Distmat.n dist in
+    let dn = Distmat.n dist in
+    let d, dense =
+      match Distmat.raw_opt dist with Some d -> (d, true) | None -> ([||], false)
+    in
     let mark touch (a, b) =
       if touch.(a) = [] && sc.touch_f.(a) = [] && sc.touch_e.(a) = [] then
         sc.dirty <- a :: sc.dirty;
@@ -196,7 +269,9 @@ module Scoring = struct
     (* base sums fold the pair lists in order, exactly as the full rescan
        did, so the unexchanged sums are bit-identical to the old code's *)
     let base pairs =
-      List.fold_left (fun acc (a, b) -> acc +. d.((a * dn) + b)) 0.0 pairs
+      if dense then
+        List.fold_left (fun acc (a, b) -> acc +. d.((a * dn) + b)) 0.0 pairs
+      else List.fold_left (fun acc (a, b) -> acc +. Distmat.get dist a b) 0.0 pairs
     in
     let base_front = base front and base_ext = base ext in
     List.iter (mark sc.touch_f) front;
@@ -204,6 +279,8 @@ module Scoring = struct
     {
       d;
       dn;
+      dm = dist;
+      dense;
       front;
       ext;
       base_front;
@@ -217,10 +294,13 @@ module Scoring = struct
   let base_ext t = t.base_ext
   let pair_evals t = t.evals
 
+  let[@inline] dget t a b =
+    if t.dense then t.d.((a * t.dn) + b) else Distmat.get t.dm a b
+
   let[@inline] mapped t p1 p2 a b =
     let a' = if a = p1 then p2 else if a = p2 then p1 else a in
     let b' = if b = p1 then p2 else if b = p2 then p1 else b in
-    t.d.((a' * t.dn) + b')
+    dget t a' b'
 
   let full_after t p1 p2 pairs =
     List.fold_left
@@ -236,13 +316,13 @@ module Scoring = struct
     List.iter
       (fun (a, b) ->
         t.evals <- t.evals + 1;
-        acc := !acc +. (mapped t p1 p2 a b -. t.d.((a * t.dn) + b)))
+        acc := !acc +. (mapped t p1 p2 a b -. dget t a b))
       touch.(p1);
     List.iter
       (fun (a, b) ->
         if a <> p1 && b <> p1 then begin
           t.evals <- t.evals + 1;
-          acc := !acc +. (mapped t p1 p2 a b -. t.d.((a * t.dn) + b))
+          acc := !acc +. (mapped t p1 p2 a b -. dget t a b)
         end)
       touch.(p2);
     !acc
@@ -256,38 +336,40 @@ module Scoring = struct
     else full_after t p1 p2 t.ext
 end
 
-let two_qubit_front_of dag front_ids mapping =
+(* ---- the traversal walker ----
+
+   The routing loop only ever asks six questions of the circuit: the ready
+   front, a node's gate and qubits, "execute this node", "are we done",
+   and the lookahead window.  Abstracting those as closures lets the same
+   loop drive both the materialized [Dag.Traversal] (classic whole-circuit
+   routing) and the bounded [Streamdag] window (O(window)-memory streaming)
+   without duplicating the scoring/stall/decay machinery.  Both walkers
+   answer every question in the exact same order for the same circuit, so
+   routed outputs are byte-identical across the two drivers. *)
+
+type walker = {
+  wk_front : unit -> int list;
+  wk_gate : int -> Gate.t;
+  wk_qubits : int -> int list;
+  wk_execute : int -> unit;
+  wk_finished : unit -> bool;
+  wk_lookahead : int -> int list;
+}
+
+let two_qubit_front_of wk front_ids mapping =
   List.filter_map
     (fun id ->
-      let nd = Qcircuit.Dag.node dag id in
-      if Gate.is_two_qubit nd.gate then
-        match nd.qubits with
+      if Gate.is_two_qubit (wk.wk_gate id) then
+        match wk.wk_qubits id with
         | [ a; b ] -> Some (mapping.l2p.(a), mapping.l2p.(b))
         | _ -> None
       else None)
     front_ids
 
-let route_once params coupling ~rng ~dist ~bonus ?window ?dag circuit init_layout =
-  Qobs.span "engine.route_once" @@ fun () ->
+(* the main routing loop, generic over the walker; returns the SWAP count.
+   [oracle] is the exact-window hook ([?window] of [route_once]). *)
+let route_core params coupling ~rng ~dist ~bonus ~oracle ~stream ~mapping wk =
   let n_phys = Coupling.n_qubits coupling in
-  let n_log = Qcircuit.Circuit.n_qubits circuit in
-  if n_log > n_phys then invalid_arg "Engine.route_once: circuit larger than device";
-  if Distmat.n dist <> n_phys then
-    invalid_arg "Engine.route_once: distance matrix size does not match device";
-  if Distmat.is_legacy dist then Qobs.incr c_legacy_dist;
-  List.iter
-    (fun (i : Qcircuit.Circuit.instr) ->
-      if Gate.arity i.gate > 2 && not (Gate.is_directive i.gate) then
-        invalid_arg "Engine.route_once: lower gates to <=2 qubits before routing")
-    (Qcircuit.Circuit.instrs circuit);
-  let mapping = mapping_of_layout ~n_phys init_layout in
-  let initial_layout = Array.copy mapping.l2p in
-  (* the DAG is a pure function of the circuit, so callers that route the
-     same circuit repeatedly (the layout search) build it once and pass it
-     in; per-pass mutable state lives in the traversal, created below *)
-  let dag = match dag with Some d -> d | None -> Qcircuit.Dag.of_circuit circuit in
-  let tr = Qcircuit.Dag.Traversal.create dag in
-  let stream = stream_create ~n_phys in
   let scratch = Scoring.make_scratch ~n_phys in
   let n_swaps = ref 0 in
   let decay = Array.make n_phys 1.0 in
@@ -297,8 +379,11 @@ let route_once params coupling ~rng ~dist ~bonus ?window ?dag circuit init_layou
     stream_push stream op;
     op
   in
-  let emit_mapped (nd : Qcircuit.Dag.node) =
-    ignore (emit nd.gate (List.map (fun q -> mapping.l2p.(q)) nd.qubits) Not_swap)
+  let emit_mapped id =
+    ignore
+      (emit (wk.wk_gate id)
+         (List.map (fun q -> mapping.l2p.(q)) (wk.wk_qubits id))
+         Not_swap)
   in
   (* execute every currently executable front gate; returns true if any.
      The first round reuses the caller's front snapshot (the single front
@@ -306,9 +391,8 @@ let route_once params coupling ~rng ~dist ~bonus ?window ?dag circuit init_layou
      front only after gates actually retired. *)
   let rec drain_from front_ids =
     let executable id =
-      let nd = Qcircuit.Dag.node dag id in
-      match nd.qubits with
-      | [ a; b ] when Gate.is_two_qubit nd.gate ->
+      match wk.wk_qubits id with
+      | [ a; b ] when Gate.is_two_qubit (wk.wk_gate id) ->
           Coupling.connected coupling mapping.l2p.(a) mapping.l2p.(b)
       | _ -> true
     in
@@ -317,22 +401,21 @@ let route_once params coupling ~rng ~dist ~bonus ?window ?dag circuit init_layou
     | ready ->
         List.iter
           (fun id ->
-            emit_mapped (Qcircuit.Dag.node dag id);
-            Qcircuit.Dag.Traversal.execute tr id)
+            emit_mapped id;
+            wk.wk_execute id)
           ready;
-        ignore (drain_from (Qcircuit.Dag.Traversal.front tr));
+        ignore (drain_from (wk.wk_front ()));
         true
   in
   let apply_best_swap front_ids =
-    let front_pairs = two_qubit_front_of dag front_ids mapping in
+    let front_pairs = two_qubit_front_of wk front_ids mapping in
     let ext_pairs =
       List.filter_map
         (fun id ->
-          let nd = Qcircuit.Dag.node dag id in
-          match nd.qubits with
+          match wk.wk_qubits id with
           | [ a; b ] -> Some (mapping.l2p.(a), mapping.l2p.(b))
           | _ -> None)
-        (Qcircuit.Dag.Traversal.lookahead tr params.ext_size)
+        (wk.wk_lookahead params.ext_size)
     in
     (* candidate swaps: all couplings touching a physical qubit of a front
        gate.  Enumeration order (hence the tie-break set fed to Rng.pick)
@@ -439,10 +522,10 @@ let route_once params coupling ~rng ~dist ~bonus ?window ?dag circuit init_layou
      to the heuristic path untouched; with no hook installed this is free
      and the engine's behavior is byte-identical to before. *)
   let try_window front_ids =
-    match window with
+    match oracle with
     | None -> false
     | Some solve -> (
-        let front_pairs = two_qubit_front_of dag front_ids mapping in
+        let front_pairs = two_qubit_front_of wk front_ids mapping in
         match solve ~front:front_pairs with
         | None | Some [] -> false
         | Some swaps ->
@@ -476,14 +559,13 @@ let route_once params coupling ~rng ~dist ~bonus ?window ?dag circuit init_layou
     match front_ids with
     | [] -> ()
     | id :: _ -> begin
-        let nd = Qcircuit.Dag.node dag id in
-        match nd.qubits with
+        match wk.wk_qubits id with
         | [ a; b ] ->
             let pa = mapping.l2p.(a) and pb = mapping.l2p.(b) in
             let path = Coupling.shortest_path coupling pa pb in
             let front_n =
               if Qobs.Recorder.active () then
-                List.length (two_qubit_front_of dag front_ids mapping)
+                List.length (two_qubit_front_of wk front_ids mapping)
               else 0
             in
             let rec walk = function
@@ -513,11 +595,11 @@ let route_once params coupling ~rng ~dist ~bonus ?window ?dag circuit init_layou
         | _ -> ()
       end
   in
-  while not (Qcircuit.Dag.Traversal.finished tr) do
+  while not (wk.wk_finished ()) do
     (* the single front snapshot of this iteration: drain tries it first,
        and on a stuck front the very same ids feed candidate generation or
        the escape valve (they cannot have changed: nothing retired) *)
-    let front_ids = Qcircuit.Dag.Traversal.front tr in
+    let front_ids = wk.wk_front () in
     if drain_from front_ids then begin
       stall := 0;
       Array.fill decay 0 n_phys 1.0
@@ -534,11 +616,85 @@ let route_once params coupling ~rng ~dist ~bonus ?window ?dag circuit init_layou
       end
     end
   done;
+  !n_swaps
+
+let route_once params coupling ~rng ~dist ~bonus ?window ?dag circuit init_layout =
+  Qobs.span "engine.route_once" @@ fun () ->
+  let n_phys = Coupling.n_qubits coupling in
+  let n_log = Qcircuit.Circuit.n_qubits circuit in
+  if n_log > n_phys then invalid_arg "Engine.route_once: circuit larger than device";
+  if Distmat.n dist <> n_phys then
+    invalid_arg "Engine.route_once: distance matrix size does not match device";
+  if Distmat.is_legacy dist then Qobs.incr c_legacy_dist;
+  List.iter
+    (fun (i : Qcircuit.Circuit.instr) ->
+      if Gate.arity i.gate > 2 && not (Gate.is_directive i.gate) then
+        invalid_arg "Engine.route_once: lower gates to <=2 qubits before routing")
+    (Qcircuit.Circuit.instrs circuit);
+  let mapping = mapping_of_layout ~n_phys init_layout in
+  let initial_layout = Array.copy mapping.l2p in
+  (* the DAG is a pure function of the circuit, so callers that route the
+     same circuit repeatedly (the layout search) build it once and pass it
+     in; per-pass mutable state lives in the traversal, created below *)
+  let dag = match dag with Some d -> d | None -> Qcircuit.Dag.of_circuit circuit in
+  let tr = Qcircuit.Dag.Traversal.create dag in
+  let wk =
+    {
+      wk_front = (fun () -> Qcircuit.Dag.Traversal.front tr);
+      wk_gate = (fun id -> (Qcircuit.Dag.node dag id).gate);
+      wk_qubits = (fun id -> (Qcircuit.Dag.node dag id).qubits);
+      wk_execute = (fun id -> Qcircuit.Dag.Traversal.execute tr id);
+      wk_finished = (fun () -> Qcircuit.Dag.Traversal.finished tr);
+      wk_lookahead = (fun k -> Qcircuit.Dag.Traversal.lookahead tr k);
+    }
+  in
+  let stream = stream_create ~n_phys () in
+  let n_swaps =
+    route_core params coupling ~rng ~dist ~bonus ~oracle:window ~stream ~mapping wk
+  in
   {
     routed = List.rev stream.s_rev;
     initial_layout;
     final_layout = Array.copy mapping.l2p;
-    n_swaps = !n_swaps;
+    n_swaps;
+  }
+
+let route_stream params coupling ~rng ~dist ~bonus ~window ?(keep = 64) ~sink source
+    init_layout =
+  Qobs.span "engine.route_stream" @@ fun () ->
+  let n_phys = Coupling.n_qubits coupling in
+  let n_log = Qcircuit.Source.n_qubits source in
+  if n_log > n_phys then invalid_arg "Engine.route_stream: circuit larger than device";
+  if Distmat.n dist <> n_phys then
+    invalid_arg "Engine.route_stream: distance matrix size does not match device";
+  if Distmat.is_legacy dist then Qobs.incr c_legacy_dist;
+  let mapping = mapping_of_layout ~n_phys init_layout in
+  let initial_layout = Array.copy mapping.l2p in
+  (* gate arity and qubit-range validation happens per admission inside
+     [Streamdag]; [create] already admits the first window *)
+  let sd = Qcircuit.Streamdag.create ~window source in
+  let wk =
+    {
+      wk_front = (fun () -> Qcircuit.Streamdag.front sd);
+      wk_gate = (fun id -> Qcircuit.Streamdag.gate sd id);
+      wk_qubits = (fun id -> Qcircuit.Streamdag.qubits sd id);
+      wk_execute = (fun id -> Qcircuit.Streamdag.execute sd id);
+      wk_finished = (fun () -> Qcircuit.Streamdag.finished sd);
+      wk_lookahead = (fun k -> Qcircuit.Streamdag.lookahead sd k);
+    }
+  in
+  let stream = stream_create ~sink ~keep ~n_phys () in
+  let n_swaps =
+    route_core params coupling ~rng ~dist ~bonus ~oracle:None ~stream ~mapping wk
+  in
+  stream_drain stream;
+  Qobs.gauge_set g_window_peak (float_of_int (Qcircuit.Streamdag.peak_resident sd));
+  {
+    st_initial_layout = initial_layout;
+    st_final_layout = Array.copy mapping.l2p;
+    st_n_swaps = n_swaps;
+    st_gates_in = Qcircuit.Streamdag.executed_count sd;
+    st_peak_resident = Qcircuit.Streamdag.peak_resident sd;
   }
 
 let reverse_circuit c =

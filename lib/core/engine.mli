@@ -58,13 +58,25 @@ type stream
     per-wire tails let them visit only ops touching those wires while the
     emission indices enforce the global window bound. *)
 
-val stream_create : n_phys:int -> stream
+val stream_create : ?sink:(out_op -> unit) -> ?keep:int -> n_phys:int -> unit -> stream
+(** Without [sink] (the classic mode) every emitted op stays resident.
+    With [sink], whenever more than [2 * keep] ops are retained the stream
+    hands all but the newest [keep] to the sink oldest-first and drops them
+    — O(keep) resident ops however long the route.  [keep] (default 64)
+    must exceed the largest bonus scan window ([scan_limit + 1] for the
+    NASSC hooks) so flushed ops are never retro-tagged; {!stream_drain}
+    flushes the remainder at end of route. *)
+
 val stream_push : stream -> out_op -> unit
 (** Append an op (it becomes the newest on its wires).  [route_once] emits
     through this; exposed so tests can build streams directly. *)
 
+val stream_drain : stream -> unit
+(** Deliver every still-retained op to the sink (no-op without one). *)
+
 val stream_rev : stream -> out_op list
-(** All emitted ops, newest first (the classic [out_rev]). *)
+(** All emitted ops, newest first (the classic [out_rev]); under a sink,
+    only the ops not yet flushed. *)
 
 val stream_total : stream -> int
 (** Number of ops emitted so far; the newest op has index [total - 1]. *)
@@ -92,6 +104,16 @@ type result = {
   final_layout : int array;
   n_swaps : int;
 }
+
+type stream_stats = {
+  st_initial_layout : int array;
+  st_final_layout : int array;
+  st_n_swaps : int;
+  st_gates_in : int;  (** gates consumed from the source *)
+  st_peak_resident : int;  (** window high-water mark (the O(window) claim) *)
+}
+(** What {!route_stream} returns: the routed ops themselves went to the
+    sink, so only layouts and counts remain. *)
 
 val route_rng : params -> Mathkit.Rng.t
 (** The canonical routing stream for a seed: [Rng.create params.seed],
@@ -172,6 +194,33 @@ val route_once :
     coupling edges and is trusted to make the front executable.  Without
     [window] the engine behaves byte-identically to previous releases.
     @raise Invalid_argument otherwise, or when the layout is unusable.
+    @raise Routing_stuck when a front gate has no swap candidates. *)
+
+val route_stream :
+  params ->
+  Topology.Coupling.t ->
+  rng:Mathkit.Rng.t ->
+  dist:Topology.Distmat.t ->
+  bonus:bonus_fn ->
+  window:int ->
+  ?keep:int ->
+  sink:(out_op -> unit) ->
+  Qcircuit.Source.t ->
+  int array ->
+  stream_stats
+(** Streaming counterpart of {!route_once}: consume gates from a pull
+    [source] through a bounded [window]-gate sliding DAG ({!
+    Qcircuit.Streamdag}), emitting routed ops to [sink] as soon as the
+    emitted-op holdback allows (see {!stream_create}; [keep] defaults to
+    64).  Resident memory is O(window + keep + n_phys) regardless of
+    stream length.  With [window >= total gates] the ops delivered to
+    [sink], the layouts and the SWAP count are byte-identical to
+    [route_once] on the materialized circuit — smaller windows may route
+    differently (the lookahead horizon is clipped to admitted gates) but
+    remain valid.  [dist] may be an on-demand matrix
+    ([Distmat.hops_lazy]), which is what avoids the dense n^2 table on
+    mega-scale devices.
+    @raise Invalid_argument as [route_once], checked per admission.
     @raise Routing_stuck when a front gate has no swap candidates. *)
 
 val find_layout :

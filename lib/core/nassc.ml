@@ -217,30 +217,55 @@ let bonus cfg : Engine.bonus_fn =
 
 let cx a b = { Qcircuit.Circuit.gate = Gate.CX; qubits = [ a; b ] }
 
-let finalize ops =
-  (* accumulate output in reverse; oriented swaps pull the contiguous 1q
-     gates sitting before them on their wires to after the swap (with the
-     wire exchanged), exposing the cancellable CNOT pair. *)
-  let out = ref [] in
-  let emit i = out := i :: !out in
-  let handle (op : Engine.out_op) =
-    match (op.gate, op.op_qubits, op.tag) with
+module Streaming = struct
+  (* Incremental SWAP finalization for the streaming engine.  The only
+     backward edit [finalize] ever performs is an oriented swap pulling the
+     contiguous run of one-qubit gates sitting directly before it on its
+     wires; the pull stops at the first instruction that is not a 1q gate.
+     So a pending buffer holding exactly the trailing contiguous 1q run
+     reproduces batch finalization byte-for-byte while everything below
+     that run flushes downstream immediately. *)
+
+  type t = {
+    emit : Qcircuit.Circuit.instr -> unit;
+    mutable pend : Qcircuit.Circuit.instr list;  (* newest first *)
+  }
+
+  let create ~emit = { emit; pend = [] }
+
+  (* flush everything below the trailing contiguous 1q run (final: no
+     future op can pull or reorder it) *)
+  let settle t =
+    let rec split kept = function
+      | (i : Qcircuit.Circuit.instr) :: rest when Gate.is_one_qubit i.gate ->
+          split (i :: kept) rest
+      | below -> (kept, below)
+    in
+    match split [] t.pend with
+    | _, [] -> ()
+    | kept_oldest_first, below ->
+        List.iter t.emit (List.rev below);
+        t.pend <- List.rev kept_oldest_first
+
+  let push t (op : Engine.out_op) =
+    let emit i = t.pend <- i :: t.pend in
+    (match (op.gate, op.op_qubits, op.tag) with
     | Gate.SWAP, [ a; b ], Engine.Swap_plain -> List.iter emit [ cx a b; cx b a; cx a b ]
-    | Gate.SWAP, [ a; b ], Engine.Swap_orient (c, t) ->
+    | Gate.SWAP, [ a; b ], Engine.Swap_orient (c, tg) ->
         Qobs.incr c_oriented;
         let moved = ref [] in
         let rec pull () =
-          match !out with
+          match t.pend with
           | (i : Qcircuit.Circuit.instr) :: rest
             when Gate.is_one_qubit i.gate
                  && (i.qubits = [ a ] || i.qubits = [ b ]) ->
-              out := rest;
+              t.pend <- rest;
               moved := i :: !moved;
               pull ()
           | _ -> ()
         in
         pull ();
-        List.iter emit [ cx c t; cx t c; cx c t ];
+        List.iter emit [ cx c tg; cx tg c; cx c tg ];
         (* re-emit moved gates after the swap on the exchanged wire,
            preserving their relative order *)
         List.iter
@@ -249,10 +274,23 @@ let finalize ops =
             let q' = if q = a then b else a in
             emit { i with qubits = [ q' ] })
           !moved
-    | _, qs, _ -> emit { Qcircuit.Circuit.gate = op.gate; qubits = qs }
-  in
-  List.iter handle ops;
-  List.rev !out
+    | _, qs, _ -> emit { Qcircuit.Circuit.gate = op.gate; qubits = qs });
+    settle t
+
+  let flush t =
+    List.iter t.emit (List.rev t.pend);
+    t.pend <- []
+
+  let pending t = List.length t.pend
+end
+
+let finalize ops =
+  (* batch finalization is the streaming finalizer draining into a list *)
+  let acc = ref [] in
+  let st = Streaming.create ~emit:(fun i -> acc := i :: !acc) in
+  List.iter (Streaming.push st) ops;
+  Streaming.flush st;
+  List.rev !acc
 
 let route ?(params = Engine.default_params) ?(config = default_config) ?dist coupling
     circuit =

@@ -56,3 +56,22 @@ val bonus : config -> Engine.bonus_fn
 val finalize : Engine.out_op list -> Qcircuit.Circuit.instr list
 (** Decompose tagged SWAPs and move single-qubit gates through oriented
     ones (exposed for tests). *)
+
+module Streaming : sig
+  (** Incremental {!finalize} for the streaming engine: ops are pushed as
+      the routed stream emits them, finished instructions flow to [emit]
+      immediately, and only the trailing contiguous run of one-qubit gates
+      stays buffered (the only thing a future oriented swap can pull).
+      Pushing a whole route and flushing is byte-identical to batch
+      {!finalize}. *)
+
+  type t
+
+  val create : emit:(Qcircuit.Circuit.instr -> unit) -> t
+  val push : t -> Engine.out_op -> unit
+  val flush : t -> unit
+  (** Emit everything still buffered (end of stream). *)
+
+  val pending : t -> int
+  (** Buffered instruction count (observability/tests). *)
+end

@@ -96,6 +96,129 @@ let g_depth_in = Qobs.gauge "pipeline.depth_in"
 let g_qubits_in = Qobs.gauge "pipeline.qubits_in"
 let g_trials_req = Qobs.gauge "pipeline.trials"
 
+(* ---- streaming transpilation ---- *)
+
+type stream_result = {
+  sr_gates_in : int;
+  sr_gates_out : int;
+  sr_cx_out : int;
+  sr_depth_out : int;
+  sr_n_swaps : int;
+  sr_chunks : int;
+  sr_peak_resident : int;
+  sr_initial_layout : int array;
+  sr_final_layout : int array;
+}
+
+let streamable = function
+  | Sabre_router | Nassc_router _ | Sabre_ha | Nassc_ha _ -> true
+  | Full_connectivity | Astar_router | Hybrid_router _ -> false
+
+let transpile_stream ?(params = Engine.default_params) ?calibration ?(window = 4096)
+    ?(chunk = 4096) ?(optimize = false) ~router ~sink coupling source =
+  if window < 1 then invalid_arg "Pipeline.transpile_stream: window must be >= 1";
+  if chunk < 1 then invalid_arg "Pipeline.transpile_stream: chunk must be >= 1";
+  if not (streamable router) then
+    invalid_arg
+      "Pipeline.transpile_stream: router needs the whole circuit (streaming supports \
+       sabre/nassc/sabre-ha/nassc-ha)";
+  Qobs.span "pipeline.transpile_stream" @@ fun () ->
+  let n_phys = Topology.Coupling.n_qubits coupling in
+  (* streaming lowering to the <=2q basis: each pulled instruction expands
+     in place, so no materialized circuit ever exists *)
+  let lowered =
+    Qcircuit.Source.map source (fun (i : Qcircuit.Circuit.instr) ->
+        Qgate.Decompose.to_cx_basis [ (i.gate, i.qubits) ]
+        |> List.map (fun (g, qs) -> { Qcircuit.Circuit.gate = g; qubits = qs }))
+  in
+  let dist =
+    match router with
+    | Sabre_ha | Nassc_ha _ ->
+        Qobs.span "pipeline.noise_dist" (fun () -> noise_dist calibration coupling)
+    | _ ->
+        (* on-demand rows: mega-scale devices never allocate the dense
+           n^2 hop matrix *)
+        Topology.Distmat.hops_lazy coupling
+  in
+  let bonus, keep =
+    match router with
+    | Nassc_router config | Nassc_ha config ->
+        (* the emitted-op holdback must cover the bonus scan window so
+           flushed ops are never retro-tagged (see Engine.stream_create) *)
+        (Nassc.bonus config, max 64 (config.Nassc.scan_limit + 8))
+    | _ -> (Engine.zero_bonus, 64)
+  in
+  (* layout search runs on a bounded prefix of the stream (the routers'
+     bidirectional search needs a materialized circuit); the prefix then
+     replays so routing still consumes the stream from gate zero *)
+  let prefix_instrs, lowered = Qcircuit.Source.prefix lowered window in
+  let prefix_circuit =
+    Qcircuit.Circuit.create (Qcircuit.Source.n_qubits lowered) prefix_instrs
+  in
+  let layout =
+    Qobs.span "pipeline.stream_layout" @@ fun () ->
+    Engine.find_layout params coupling ~rng:(Engine.layout_rng params) ~dist
+      ~bonus:Engine.zero_bonus prefix_circuit
+  in
+  (* chunked emission: finalized instructions accumulate into [chunk]-sized
+     circuits, optionally post-optimized per chunk, then flow to [sink].
+     Output depth/counts are tracked incrementally with the same per-qubit
+     level recurrence as [Circuit.depth], so with [optimize = false] they
+     equal the whole-circuit metrics of the concatenated chunks. *)
+  let gates_out = ref 0 and cx_out = ref 0 and chunks = ref 0 in
+  let level = Array.make (max n_phys 1) 0 in
+  let depth_out = ref 0 in
+  let buf = ref [] and buf_n = ref 0 in
+  let flush_chunk () =
+    if !buf_n > 0 then begin
+      let c = Qcircuit.Circuit.create n_phys (List.rev !buf) in
+      buf := [];
+      buf_n := 0;
+      let c = if optimize then post_optimize c else c in
+      incr chunks;
+      List.iter
+        (fun (i : Qcircuit.Circuit.instr) ->
+          match i.gate with
+          | Qgate.Gate.Barrier _ -> ()
+          | g ->
+              incr gates_out;
+              (match g with Qgate.Gate.CX -> incr cx_out | _ -> ());
+              let d = 1 + List.fold_left (fun acc q -> max acc level.(q)) 0 i.qubits in
+              List.iter (fun q -> level.(q) <- d) i.qubits;
+              if d > !depth_out then depth_out := d)
+        (Qcircuit.Circuit.instrs c);
+      sink c
+    end
+  in
+  let emit_instr i =
+    buf := i :: !buf;
+    incr buf_n;
+    if !buf_n >= chunk then flush_chunk ()
+  in
+  (* the streaming finalizer handles both routers: SABRE's untagged swaps
+     take the plain 3-CX decomposition, NASSC's tagged ones the oriented
+     path with 1q pull-through *)
+  let fin = Nassc.Streaming.create ~emit:emit_instr in
+  let stats =
+    Engine.route_stream params coupling ~rng:(Engine.route_rng params) ~dist ~bonus
+      ~window ~keep
+      ~sink:(fun op -> Nassc.Streaming.push fin op)
+      lowered layout
+  in
+  Nassc.Streaming.flush fin;
+  flush_chunk ();
+  {
+    sr_gates_in = stats.Engine.st_gates_in;
+    sr_gates_out = !gates_out;
+    sr_cx_out = !cx_out;
+    sr_depth_out = !depth_out;
+    sr_n_swaps = stats.Engine.st_n_swaps;
+    sr_chunks = !chunks;
+    sr_peak_resident = stats.Engine.st_peak_resident;
+    sr_initial_layout = stats.Engine.st_initial_layout;
+    sr_final_layout = stats.Engine.st_final_layout;
+  }
+
 let transpile ?(params = Engine.default_params) ?calibration ?(trials = 1) ?workers ~router
     coupling circuit =
   if trials < 1 then invalid_arg "Pipeline.transpile: trials must be >= 1";

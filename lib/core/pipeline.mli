@@ -92,3 +92,57 @@ val transpile :
     evaluation tables are produced with.  [workers] bounds the domain pool
     (default [Trials.default_workers ()]); results are identical for any
     worker count. *)
+
+(** {2 Streaming transpilation}
+
+    Million-gate circuits on mega-scale devices never fit the batch flow
+    (it materializes the circuit, its DAG, and the dense distance matrix).
+    {!transpile_stream} instead consumes a pull {!Qcircuit.Source},
+    lowers each instruction on the fly, routes through a bounded
+    sliding-window DAG ([Engine.route_stream]) with on-demand distance
+    rows, finalizes SWAPs incrementally, and emits routed instructions to
+    a sink in [chunk]-sized circuits — peak memory is
+    O(window + chunk + device), independent of stream length. *)
+
+type stream_result = {
+  sr_gates_in : int;  (** gates consumed from the source (after lowering) *)
+  sr_gates_out : int;  (** instructions emitted (barriers excluded) *)
+  sr_cx_out : int;
+  sr_depth_out : int;
+      (** running circuit depth of the concatenated chunks (the exact
+          [Circuit.depth] of the full output when [optimize] is off) *)
+  sr_n_swaps : int;
+  sr_chunks : int;
+  sr_peak_resident : int;  (** window high-water mark, in gates *)
+  sr_initial_layout : int array;
+  sr_final_layout : int array;
+}
+
+val streamable : router -> bool
+(** Routers the streaming flow supports: [Sabre_router], [Nassc_router],
+    and their noise-aware variants.  [Astar_router], [Hybrid_router] and
+    [Full_connectivity] need the whole circuit. *)
+
+val transpile_stream :
+  ?params:Engine.params ->
+  ?calibration:Topology.Calibration.t ->
+  ?window:int ->
+  ?chunk:int ->
+  ?optimize:bool ->
+  router:router ->
+  sink:(Qcircuit.Circuit.t -> unit) ->
+  Topology.Coupling.t ->
+  Qcircuit.Source.t ->
+  stream_result
+(** Stream-route [source] onto [coupling], delivering routed instructions
+    to [sink] as [chunk]-sized circuits (default 4096) on physical qubits.
+    [window] (default 4096) bounds the resident DAG window; the layout
+    search runs on the first [window] gates of the stream.  [optimize]
+    (default false) runs the {!post_stages} bundle on each chunk before it
+    reaches the sink (per-chunk, so cross-chunk cancellations are not
+    found).  With [window >= total gates] and [optimize = false] the
+    concatenated chunks are byte-identical to the corresponding batch
+    router's routed circuit ([Sabre.route] + [decompose_swaps], or
+    [Nassc.route]) at the same seed.
+    @raise Invalid_argument when the router is not {!streamable}, or on
+    invalid [window]/[chunk]. *)

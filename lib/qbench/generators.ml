@@ -314,3 +314,124 @@ let multiplier n_qubits =
     done
   done;
   Qcircuit.Circuit.Builder.circuit b
+
+(* ---- lazy streaming families (10^5 - 10^6 gates) ----
+
+   Pull sources for the scaling benchmarks: gates are produced one at a
+   time as the streaming engine admits them, so generator memory is O(1)
+   (O(n) for the QV layer buffer) however deep the circuit.  Each source
+   is a pure function of its parameters — re-creating it replays the
+   byte-identical stream, which is what makes streamed routing runs
+   reproducible at a fixed seed. *)
+
+let qft_stream ~reps n =
+  if n < 2 then invalid_arg "Generators.qft_stream: need at least 2 qubits";
+  if reps < 1 then invalid_arg "Generators.qft_stream: need at least 1 repetition";
+  (* same gate sequence as [qft], repeated [reps] times; [j = i] encodes
+     "emit the H on qubit i next" *)
+  let rep = ref 0 and i = ref 0 and j = ref 0 in
+  Qcircuit.Source.create ~n_qubits:n (fun () ->
+      if !rep >= reps then None
+      else begin
+        let instr =
+          if !j = !i then { Qcircuit.Circuit.gate = Gate.H; qubits = [ !i ] }
+          else
+            let angle = pi /. float_of_int (1 lsl (!j - !i)) in
+            { Qcircuit.Circuit.gate = Gate.CP angle; qubits = [ !j; !i ] }
+        in
+        incr j;
+        if !j > n - 1 then begin
+          incr i;
+          j := !i;
+          if !i > n - 1 then begin
+            incr rep;
+            i := 0;
+            j := 0
+          end
+        end;
+        Some instr
+      end)
+
+let qv_stream ?(seed = 11) ~depth n =
+  if n < 2 then invalid_arg "Generators.qv_stream: need at least 2 qubits";
+  if depth < 1 then invalid_arg "Generators.qv_stream: need at least 1 layer";
+  let rng = Mathkit.Rng.create seed in
+  let layer = ref 0 in
+  let buf = ref [] in
+  (* quantum-volume-style layer: a seeded random pairing of the qubits,
+     each pair getting a 2-CX entangling block with randomized phases *)
+  let gen_layer () =
+    let perm = Mathkit.Rng.permutation rng n in
+    let acc = ref [] in
+    let add g qs = acc := { Qcircuit.Circuit.gate = g; qubits = qs } :: !acc in
+    let th () = Gate.RZ (Mathkit.Rng.float rng (2.0 *. pi)) in
+    for k = 0 to (n / 2) - 1 do
+      let a = perm.(2 * k) and b = perm.((2 * k) + 1) in
+      add (th ()) [ a ];
+      add Gate.SX [ a ];
+      add (th ()) [ b ];
+      add Gate.SX [ b ];
+      add Gate.CX [ a; b ];
+      add (th ()) [ b ];
+      add Gate.CX [ a; b ];
+      add (th ()) [ a ]
+    done;
+    List.rev !acc
+  in
+  Qcircuit.Source.create ~n_qubits:n (fun () ->
+      let rec next () =
+        match !buf with
+        | instr :: tl ->
+            buf := tl;
+            Some instr
+        | [] ->
+            if !layer >= depth then None
+            else begin
+              incr layer;
+              buf := gen_layer ();
+              next ()
+            end
+      in
+      next ())
+
+let random_density_stream ?(seed = 11) ~gates ~density n =
+  if n < 2 then invalid_arg "Generators.random_density_stream: need at least 2 qubits";
+  if gates < 0 then invalid_arg "Generators.random_density_stream: negative gate count";
+  if density < 0.0 || density > 1.0 then
+    invalid_arg "Generators.random_density_stream: density must lie in [0, 1]";
+  let rng = Mathkit.Rng.create seed in
+  let k = ref 0 in
+  (* per-gate Bernoulli draw instead of [random_density]'s shuffled slot
+     array (which is O(gates) memory): realized density converges to the
+     request instead of matching it exactly *)
+  Qcircuit.Source.create ~n_qubits:n (fun () ->
+      if !k >= gates then None
+      else begin
+        incr k;
+        if Mathkit.Rng.float rng 1.0 < density then begin
+          let a = Mathkit.Rng.int rng n in
+          let c = (a + 1 + Mathkit.Rng.int rng (n - 1)) mod n in
+          match Mathkit.Rng.int rng 3 with
+          | 0 -> Some { Qcircuit.Circuit.gate = Gate.CX; qubits = [ a; c ] }
+          | 1 -> Some { Qcircuit.Circuit.gate = Gate.CZ; qubits = [ a; c ] }
+          | _ ->
+              Some
+                {
+                  Qcircuit.Circuit.gate = Gate.CP (Mathkit.Rng.float rng pi);
+                  qubits = [ a; c ];
+                }
+        end
+        else begin
+          let q = Mathkit.Rng.int rng n in
+          match Mathkit.Rng.int rng 4 with
+          | 0 -> Some { Qcircuit.Circuit.gate = Gate.H; qubits = [ q ] }
+          | 1 -> Some { Qcircuit.Circuit.gate = Gate.T; qubits = [ q ] }
+          | 2 -> Some { Qcircuit.Circuit.gate = Gate.SX; qubits = [ q ] }
+          | _ ->
+              Some
+                {
+                  Qcircuit.Circuit.gate = Gate.RZ (Mathkit.Rng.float rng (2.0 *. pi));
+                  qubits = [ q ];
+                }
+        end
+      end)

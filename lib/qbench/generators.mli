@@ -89,3 +89,28 @@ val cx_ladder : ?rounds:int -> int -> Qcircuit.Circuit.t
     alternating by round) — dense two-qubit traffic whose ladder shape
     matches no evaluated topology exactly.  Instruction budget:
     [1 + rounds * (3k - 2)]; every gate after the H is a CX. *)
+
+(** {2 Lazy streaming families}
+
+    Pull sources for the scaling benchmarks ([bench --only scaling] and
+    the streaming CLI): gates are produced on demand, never materialized
+    as a list, so a million-gate circuit costs O(1) generator memory.
+    Re-creating a source with equal arguments replays the byte-identical
+    stream. *)
+
+val qft_stream : reps:int -> int -> Qcircuit.Source.t
+(** [qft_stream ~reps n]: the {!qft} gate sequence repeated [reps] times —
+    [reps * (n + n(n-1)/2)] instructions ([reps = 121], [n = 127] is about
+    a million gates). *)
+
+val qv_stream : ?seed:int -> depth:int -> int -> Qcircuit.Source.t
+(** [qv_stream ~depth n]: quantum-volume-style brickwork — per layer a
+    seeded random pairing of the [n] qubits with a 2-CX randomized block
+    per pair.  [depth * 8 * floor(n/2)] instructions. *)
+
+val random_density_stream :
+  ?seed:int -> gates:int -> density:float -> int -> Qcircuit.Source.t
+(** Streaming analogue of {!random_density}: exactly [gates] instructions,
+    each independently two-qubit with probability [density] (a per-gate
+    Bernoulli draw rather than the batch generator's exact-count shuffled
+    slot array, which would cost O(gates) memory). *)

@@ -1,0 +1,71 @@
+type t = { n_qubits : int; pull : unit -> Circuit.instr option }
+
+let create ~n_qubits pull =
+  if n_qubits <= 0 then invalid_arg "Source.create: need at least one qubit";
+  { n_qubits; pull }
+
+let n_qubits s = s.n_qubits
+let pull s = s.pull ()
+
+let of_list ~n_qubits instrs =
+  let rest = ref instrs in
+  create ~n_qubits (fun () ->
+      match !rest with
+      | [] -> None
+      | i :: tl ->
+          rest := tl;
+          Some i)
+
+let of_circuit c = of_list ~n_qubits:(Circuit.n_qubits c) (Circuit.instrs c)
+
+let prefix s k =
+  let buf = ref [] in
+  let n = ref 0 in
+  (try
+     while !n < k do
+       match s.pull () with
+       | None -> raise Exit
+       | Some i ->
+           buf := i :: !buf;
+           incr n
+     done
+   with Exit -> ());
+  let taken = List.rev !buf in
+  let replay = ref taken in
+  let replayed =
+    create ~n_qubits:s.n_qubits (fun () ->
+        match !replay with
+        | i :: tl ->
+            replay := tl;
+            Some i
+        | [] -> s.pull ())
+  in
+  (taken, replayed)
+
+let to_circuit s =
+  let buf = ref [] in
+  let rec drain () =
+    match s.pull () with
+    | None -> ()
+    | Some i ->
+        buf := i :: !buf;
+        drain ()
+  in
+  drain ();
+  Circuit.create s.n_qubits (List.rev !buf)
+
+let map s f =
+  let pending = ref [] in
+  let rec next () =
+    match !pending with
+    | i :: tl ->
+        pending := tl;
+        Some i
+    | [] -> (
+        match s.pull () with
+        | None -> None
+        | Some i ->
+            pending := f i;
+            next ())
+  in
+  create ~n_qubits:s.n_qubits next

@@ -1,0 +1,40 @@
+(** Pull-based instruction sources for streaming transpilation.
+
+    A source is a qubit count plus a [unit -> instr option] thunk: [pull]
+    returns the next instruction or [None] once the stream is exhausted.
+    Million-gate circuits are generated and consumed through sources
+    without ever materializing an instruction list — the streaming engine
+    ([Qroute.Engine.route_stream]) holds only a bounded window of a
+    source's gates at any time. *)
+
+type t
+
+val create : n_qubits:int -> (unit -> Circuit.instr option) -> t
+(** Wrap a pull thunk.  The thunk owns its own state; callers must treat
+    the source as single-consumer (each instruction is delivered once). *)
+
+val n_qubits : t -> int
+
+val pull : t -> Circuit.instr option
+(** Next instruction, or [None] forever after exhaustion. *)
+
+val of_circuit : Circuit.t -> t
+(** Replay a materialized circuit in order (for tests and the CLI, where
+    the input already exists as a list). *)
+
+val of_list : n_qubits:int -> Circuit.instr list -> t
+
+val prefix : t -> int -> Circuit.instr list * t
+(** [prefix s k] pulls up to [k] instructions eagerly and returns them
+    together with a source that replays exactly those instructions and
+    then continues with the untouched remainder of [s].  The streaming
+    pipeline uses this to run the layout search on a bounded prefix while
+    still routing the full stream from the beginning. *)
+
+val to_circuit : t -> Circuit.t
+(** Drain the whole source into a circuit (materializes; tests only). *)
+
+val map : t -> (Circuit.instr -> Circuit.instr list) -> t
+(** [map s f] expands every pulled instruction through [f], preserving
+    order — the streaming analogue of [List.concat_map] (used for
+    on-the-fly lowering to the 2-qubit basis). *)

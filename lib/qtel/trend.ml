@@ -49,7 +49,10 @@ let parse_snapshot ~file ~mtime body =
   | json -> (
       let str k = Option.bind (J.member k json) J.to_string in
       match Option.bind (J.member "kind" json) J.to_string with
-      | Some k when k <> "nassc-bench-regress" -> Error (Printf.sprintf "kind %S" k)
+      (* the scaling suite shares the regress row shape but carries a
+         per-row topology (montreal/eagle/osprey in one snapshot) *)
+      | Some k when k <> "nassc-bench-regress" && k <> "nassc-bench-scaling" ->
+          Error (Printf.sprintf "kind %S" k)
       | None -> Error "missing kind"
       | Some _ -> (
           let suite = Option.value ~default:"?" (str "suite") in
@@ -63,6 +66,7 @@ let parse_snapshot ~file ~mtime body =
                   (fun c ->
                     let s k = Option.bind (J.member k c) J.to_string in
                     let f k = Option.bind (J.member k c) J.to_float in
+                    let topology = Option.value ~default:topology (s "topology") in
                     match (s "name", s "router", f "cx_total", f "depth", f "n_swaps", f "wall_s") with
                     | Some circuit, Some router, Some cx_total, Some depth, Some n_swaps, Some wall_s
                       ->

@@ -3,7 +3,8 @@ type t = {
   adj : int list array;
   conn : Bytes.t;  (* flat n*n adjacency; O(1) [connected] for the routers *)
   edges : (int * int) list;
-  dist : int array array;  (* max_int when unreachable *)
+  dist : int array option array;  (* BFS rows, materialized on demand *)
+  dist_lock : Mutex.t;
 }
 
 let bfs_row adj n src =
@@ -46,8 +47,9 @@ let create n raw_edges =
       Bytes.set conn ((a * n) + b) '\001';
       Bytes.set conn ((b * n) + a) '\001')
     edges;
-  let dist = Array.init n (fun src -> bfs_row adj n src) in
-  { n; adj; conn; edges; dist }
+  (* distance rows are computed on demand ([dist_row]): creating a
+     mega-scale device costs O(edges), not O(n^2) BFS *)
+  { n; adj; conn; edges; dist = Array.make n None; dist_lock = Mutex.create () }
 
 let n_qubits t = t.n
 let edges t = t.edges
@@ -56,29 +58,57 @@ let degree t q = List.length t.adj.(q)
 let connected t a b =
   a >= 0 && a < t.n && b >= 0 && b < t.n
   && Bytes.unsafe_get t.conn ((a * t.n) + b) = '\001'
-let distance_matrix t = t.dist
+
+(* Double-checked materialization: the unlocked read either sees the row
+   (immutable once published) or [None]; the lock serializes the BFS so
+   concurrent routing trials never duplicate work or tear a write. *)
+let dist_row t src =
+  if src < 0 || src >= t.n then invalid_arg "Coupling.dist_row: qubit out of range";
+  match t.dist.(src) with
+  | Some row -> row
+  | None ->
+      Mutex.lock t.dist_lock;
+      let row =
+        match t.dist.(src) with
+        | Some row -> row
+        | None ->
+            let row = bfs_row t.adj t.n src in
+            t.dist.(src) <- Some row;
+            row
+      in
+      Mutex.unlock t.dist_lock;
+      row
+
+let rows_materialized t =
+  Array.fold_left (fun acc r -> if r = None then acc else acc + 1) 0 t.dist
+
+let distance_matrix t = Array.init t.n (fun src -> dist_row t src)
 
 let distance t a b =
-  let d = t.dist.(a).(b) in
+  let d = (dist_row t a).(b) in
   if d = max_int then invalid_arg "Coupling.distance: disconnected qubits";
   d
 
 let is_connected_graph t =
-  Array.for_all (fun d -> d <> max_int) t.dist.(0)
+  Array.for_all (fun d -> d <> max_int) (dist_row t 0)
 
 let diameter t =
-  Array.fold_left
-    (fun acc row -> Array.fold_left (fun m d -> if d = max_int then m else max m d) acc row)
-    0 t.dist
+  let acc = ref 0 in
+  for src = 0 to t.n - 1 do
+    Array.iter
+      (fun d -> if d <> max_int && d > !acc then acc := d)
+      (dist_row t src)
+  done;
+  !acc
 
 let shortest_path t src dst =
-  let d = t.dist.(src) in
+  let d = dist_row t src in
   if d.(dst) = max_int then invalid_arg "Coupling.shortest_path: disconnected";
   (* walk back from dst following decreasing distance *)
   let rec back cur acc =
     if cur = src then cur :: acc
     else
-      let prev = List.find (fun v -> t.dist.(src).(v) = d.(cur) - 1) t.adj.(cur) in
+      let prev = List.find (fun v -> d.(v) = d.(cur) - 1) t.adj.(cur) in
       back prev (cur :: acc)
   in
   back dst []

@@ -19,11 +19,23 @@ val neighbors : t -> int -> int list
 val degree : t -> int -> int
 
 val distance : t -> int -> int -> int
-(** Shortest-path hop count (precomputed all-pairs BFS).
+(** Shortest-path hop count (on-demand per-source BFS, cached).
     @raise Invalid_argument if the qubits are in different components. *)
 
+val dist_row : t -> int -> int array
+(** [dist_row t src] is the BFS distance row from [src] ([max_int] where
+    unreachable), materialized on first request and cached (thread-safe;
+    treat the row as read-only).  Creating a coupling map no longer runs
+    all-pairs BFS, so mega-scale devices only pay for the rows routing
+    actually touches. *)
+
+val rows_materialized : t -> int
+(** How many distance rows have been computed so far (observability for
+    the lazy-row claim). *)
+
 val distance_matrix : t -> int array array
-(** The full matrix; unreachable pairs hold [max_int]. *)
+(** The full matrix (forces every row); unreachable pairs hold
+    [max_int]. *)
 
 val is_connected_graph : t -> bool
 val diameter : t -> int

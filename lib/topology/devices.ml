@@ -47,6 +47,68 @@ let heavy_hex rows cols =
     (List.rev !base_edges);
   Coupling.create (base_count + List.length !base_edges) !edges
 
+(* IBM's production heavy-hex lattice, parameterized by code distance [d]:
+   10d^2 + 12d + 1 qubits (d=2 -> 65 Hummingbird, d=3 -> 127 Eagle,
+   d=6 -> 433 Osprey).  Layout: 2d+1 long rows of 4d+3 columns (row 0
+   drops its last column, row 2d its first), interleaved with 2d connector
+   rows of d+1 bridge qubits; connector row k bridges column [4i] when k
+   is even and [4i + 2] when k is odd, which keeps every qubit at degree
+   <= 3.  Ids are assigned row-major, long and connector rows
+   interleaved. *)
+let heavy_hex_ibm ~distance:d =
+  if d < 1 then invalid_arg "Devices.heavy_hex_ibm: distance must be >= 1";
+  let cols = (4 * d) + 3 in
+  let id_of = Hashtbl.create 64 in
+  let next = ref 0 in
+  let long_cols r =
+    if r = 0 then List.init (cols - 1) Fun.id
+    else if r = 2 * d then List.init (cols - 1) (fun c -> c + 1)
+    else List.init cols Fun.id
+  in
+  for r = 0 to 2 * d do
+    List.iter
+      (fun c ->
+        Hashtbl.add id_of (`Long, r, c) !next;
+        incr next)
+      (long_cols r);
+    if r < 2 * d then begin
+      let offset = if r mod 2 = 0 then 0 else 2 in
+      for i = 0 to d do
+        Hashtbl.add id_of (`Bridge, r, offset + (4 * i)) !next;
+        incr next
+      done
+    end
+  done;
+  let edges = ref [] in
+  for r = 0 to 2 * d do
+    (match long_cols r with
+    | first :: rest ->
+        ignore
+          (List.fold_left
+             (fun prev c ->
+               edges :=
+                 (Hashtbl.find id_of (`Long, r, prev), Hashtbl.find id_of (`Long, r, c))
+                 :: !edges;
+               c)
+             first rest)
+    | [] -> ());
+    if r < 2 * d then begin
+      let offset = if r mod 2 = 0 then 0 else 2 in
+      for i = 0 to d do
+        let c = offset + (4 * i) in
+        let b = Hashtbl.find id_of (`Bridge, r, c) in
+        edges := (Hashtbl.find id_of (`Long, r, c), b) :: !edges;
+        edges := (b, Hashtbl.find id_of (`Long, r + 1, c)) :: !edges
+      done
+    end
+  done;
+  Coupling.create !next !edges
+
+let eagle_lazy = lazy (heavy_hex_ibm ~distance:3)
+let osprey_lazy = lazy (heavy_hex_ibm ~distance:6)
+let eagle () = Lazy.force eagle_lazy
+let osprey () = Lazy.force osprey_lazy
+
 let ring n =
   if n < 3 then invalid_arg "Devices.ring: need at least 3 qubits";
   Coupling.create n (List.init n (fun i -> (i, (i + 1) mod n)))
@@ -68,6 +130,8 @@ let by_name name n =
   | "heavy_hex" ->
       let side = max 2 (int_of_float (Float.round (sqrt (float_of_int (max 4 n) /. 2.5)))) in
       heavy_hex side side
+  | "eagle" -> eagle ()
+  | "osprey" -> osprey ()
   | "grid" ->
       let side = int_of_float (Float.round (sqrt (float_of_int n))) in
       grid side side

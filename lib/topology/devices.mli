@@ -17,6 +17,18 @@ val heavy_hex : int -> int -> Coupling.t
     [heavy_hex 3 3] has 18 qubits; sizes grow roughly as [2.5 * rows *
     cols]. *)
 
+val heavy_hex_ibm : distance:int -> Coupling.t
+(** IBM's production heavy-hex lattice at code distance [d]:
+    [10d^2 + 12d + 1] qubits, every qubit at degree <= 3.  [d = 3] is the
+    127-qubit Eagle shape, [d = 6] the 433-qubit Osprey shape.  Built in
+    O(qubits + edges); distances stay lazy (see [Coupling.dist_row]). *)
+
+val eagle : unit -> Coupling.t
+(** Memoized [heavy_hex_ibm ~distance:3] — 127 qubits. *)
+
+val osprey : unit -> Coupling.t
+(** Memoized [heavy_hex_ibm ~distance:6] — 433 qubits. *)
+
 val ring : int -> Coupling.t
 (** Cycle of [n] qubits; the simplest topology where shortest-path choice
     is ambiguous, useful for routing tests and examples. *)
@@ -26,6 +38,8 @@ val fully_connected : int -> Coupling.t
     "original circuit optimized by Qiskit" baseline columns are produced. *)
 
 val by_name : string -> int -> Coupling.t
-(** ["montreal" | "linear" | "ring" | "grid" | "full"], with the qubit count used by
-    [linear]/[full]; [grid] interprets it as the side of a square.
+(** ["montreal" | "linear" | "ring" | "heavy_hex" | "grid" | "full" |
+    "eagle" | "osprey"], with the qubit count used by [linear]/[full];
+    [grid] interprets it as the side of a square; [eagle]/[osprey] ignore
+    it (fixed 127/433-qubit devices).
     @raise Invalid_argument on unknown names. *)

@@ -108,7 +108,7 @@ let c2q_only = { Nassc.default_config with enable_commute1 = false; enable_commu
    to 24), counting *all* emitted ops against the window, not just ops on
    the scanned wires *)
 let test_scan_limit_shrinks_window () =
-  let stream = Engine.stream_create ~n_phys:4 in
+  let stream = Engine.stream_create ~n_phys:4 () in
   push stream Gate.CX [ 0; 1 ];
   for _ = 1 to 6 do
     push stream Gate.H [ 2 ]
@@ -131,7 +131,7 @@ let test_weyl_cache_counters () =
   let root = Qobs.Collector.create ~label:"scoring-test" () in
   Qobs.with_collector root (fun () ->
       Nassc.reset_weyl_cache ();
-      let stream = Engine.stream_create ~n_phys:4 in
+      let stream = Engine.stream_create ~n_phys:4 () in
       push stream Gate.CX [ 0; 1 ];
       let mapping = Engine.mapping_of_layout ~n_phys:4 [| 0; 1; 2; 3 |] in
       let b1 = fst ((Nassc.bonus c2q_only) ~stream ~mapping 0 1) in

@@ -1,0 +1,283 @@
+(* Streaming engine tests: the O(window) flow must be byte-identical to the
+   batch routers whenever the window covers the whole circuit (the PR's
+   degenerate-window invariant), stay valid at genuinely small windows, and
+   certify symbolically on a 127-qubit heavy-hex device.  The QCheck
+   property runs golden-corpus-shaped circuits over the corpus topologies,
+   several window sizes and batch worker counts 1 vs 4. *)
+
+open Qcircuit
+open Qgate
+module Rng = Mathkit.Rng
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let params = { Qroute.Engine.default_params with seed = 11 }
+
+(* same shape as the golden corpus generator: 3-5 logical qubits, mixed
+   1q/2q traffic, deterministic per seed *)
+let random_circuit seed =
+  let rng = Rng.create seed in
+  let n = 3 + Rng.int rng 3 in
+  let b = Circuit.Builder.create n in
+  let len = 6 + Rng.int rng 20 in
+  for _ = 1 to len do
+    match Rng.int rng 6 with
+    | 0 -> Circuit.Builder.add b Gate.H [ Rng.int rng n ]
+    | 1 -> Circuit.Builder.add b (Gate.RZ (Rng.float rng 6.28)) [ Rng.int rng n ]
+    | 2 -> Circuit.Builder.add b Gate.SX [ Rng.int rng n ]
+    | 3 -> Circuit.Builder.add b Gate.T [ Rng.int rng n ]
+    | _ ->
+        let a = Rng.int rng n in
+        let c = (a + 1 + Rng.int rng (n - 1)) mod n in
+        Circuit.Builder.add b Gate.CX [ a; c ]
+  done;
+  Circuit.Builder.circuit b
+
+let topologies =
+  [
+    ("linear7", Topology.Devices.linear 7);
+    ("ring7", Topology.Devices.ring 7);
+    ("grid2x4", Topology.Devices.grid 2 4);
+    ("heavyhex2x2", Topology.Devices.heavy_hex 2 2);
+  ]
+
+(* the <=2q lowering the pipeline applies before routing (batch and
+   streaming both route the lowered gate sequence) *)
+let lower c =
+  let lowered =
+    Circuit.instrs c
+    |> List.map (fun (i : Circuit.instr) -> (i.gate, i.qubits))
+    |> Qgate.Decompose.to_cx_basis
+    |> List.map (fun (g, qs) -> { Circuit.gate = g; qubits = qs })
+  in
+  Circuit.create (Circuit.n_qubits c) lowered
+
+let stream_route ?calibration ?(window = 4096) ?(chunk = 97) ~router coupling circuit =
+  let buf = ref [] in
+  let r =
+    Qroute.Pipeline.transpile_stream ~params ?calibration ~window ~chunk ~router
+      ~sink:(fun c -> buf := List.rev_append (Circuit.instrs c) !buf)
+      coupling
+      (Source.of_circuit circuit)
+  in
+  (Circuit.create (Topology.Coupling.n_qubits coupling) (List.rev !buf), r)
+
+let batch_reference ?dist ~router coupling circuit =
+  let lowered = lower circuit in
+  match (router : Qroute.Pipeline.router) with
+  | Sabre_router | Sabre_ha ->
+      let r = Qroute.Sabre.route ~params ?dist coupling lowered in
+      (Qroute.Sabre.decompose_swaps r.circuit, r.initial_layout, r.final_layout, r.n_swaps)
+  | Nassc_router config | Nassc_ha config ->
+      let r = Qroute.Nassc.route ~params ~config ?dist coupling lowered in
+      (r.circuit, r.initial_layout, r.final_layout, r.n_swaps)
+  | _ -> assert false
+
+let stream_routers =
+  [
+    ("sabre", Qroute.Pipeline.Sabre_router);
+    ("nassc", Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config);
+  ]
+
+(* ---- QCheck: degenerate windows are byte-identical to batch routing,
+   whatever worker count the batch side uses ---- *)
+
+let gen_case =
+  QCheck.Gen.(
+    map
+      (fun (cs, (ti, (ri, (wi, workers)))) -> (cs, ti, ri, wi, workers))
+      (pair (int_range 0 400)
+         (pair (int_range 0 3) (pair (int_range 0 1) (pair (int_range 0 2) (oneofl [ 1; 4 ]))))))
+
+let prop_degenerate_window_is_batch (cs, ti, ri, wi, workers) =
+  let circuit = random_circuit cs in
+  let tname, coupling = List.nth topologies ti in
+  let rname, router = List.nth stream_routers ri in
+  let size = Circuit.size (lower circuit) in
+  let window = List.nth [ size; size + 13; 4096 ] wi in
+  let streamed, sr = stream_route ~window ~router coupling circuit in
+  let batch, il, fl, n_swaps = batch_reference ~router coupling circuit in
+  (* the batch comparison result must not depend on the trial pool's worker
+     count: recompute the reference inside a transpile on 1 vs 4 workers *)
+  let pooled =
+    Qroute.Pipeline.transpile ~params ~trials:1 ~workers ~router coupling circuit
+  in
+  ignore pooled.Qroute.Pipeline.cx_total;
+  let batch2, _, _, _ = batch_reference ~router coupling circuit in
+  if Circuit.instrs batch <> Circuit.instrs batch2 then
+    QCheck.Test.fail_reportf "%s/%s: batch route unstable under workers=%d" tname rname
+      workers;
+  if Circuit.instrs streamed <> Circuit.instrs batch then
+    QCheck.Test.fail_reportf "%s/%s window=%d: streamed <> batch (%d vs %d instrs)" tname
+      rname window
+      (List.length (Circuit.instrs streamed))
+      (List.length (Circuit.instrs batch));
+  sr.Qroute.Pipeline.sr_initial_layout = il
+  && sr.Qroute.Pipeline.sr_final_layout = fl
+  && sr.Qroute.Pipeline.sr_n_swaps = n_swaps
+
+(* ---- small windows: different routings are allowed, broken ones are not ---- *)
+
+let prop_small_window_valid (cs, ti, ri, small) =
+  let circuit = random_circuit cs in
+  let _, coupling = List.nth topologies ti in
+  let _, router = List.nth stream_routers ri in
+  let window = List.nth [ 4; 16 ] small in
+  let streamed, sr = stream_route ~window ~router coupling circuit in
+  Qroute.Sabre.check_routed coupling streamed
+  && sr.Qroute.Pipeline.sr_peak_resident <= window
+  && sr.Qroute.Pipeline.sr_gates_in = Circuit.size (lower circuit)
+
+let gen_small =
+  QCheck.Gen.(
+    map
+      (fun (cs, (ti, (ri, small))) -> (cs, ti, ri, small))
+      (pair (int_range 0 400) (pair (int_range 0 3) (pair (int_range 0 1) (int_range 0 1)))))
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~name:"window >= circuit: streamed = batch (workers 1 vs 4)"
+      ~count:60 (QCheck.make gen_case) prop_degenerate_window_is_batch;
+    QCheck.Test.make ~name:"small windows stay valid routings" ~count:60
+      (QCheck.make gen_small) prop_small_window_valid;
+  ]
+
+(* ---- noise-aware variants stream too ---- *)
+
+let test_ha_variants () =
+  let circuit = random_circuit 29 in
+  let coupling = Topology.Devices.grid 2 4 in
+  let cal = Topology.Calibration.generate coupling in
+  let dist = Topology.Calibration.noise_distmat cal in
+  List.iter
+    (fun (name, router) ->
+      let streamed, sr = stream_route ~calibration:cal ~window:8192 ~router coupling circuit in
+      let batch, il, fl, _ = batch_reference ~dist ~router coupling circuit in
+      check (name ^ ": streamed = batch") true (Circuit.instrs streamed = Circuit.instrs batch);
+      check (name ^ ": layouts") true
+        (sr.Qroute.Pipeline.sr_initial_layout = il && sr.Qroute.Pipeline.sr_final_layout = fl))
+    [
+      ("sabre-ha", Qroute.Pipeline.Sabre_ha);
+      ("nassc-ha", Qroute.Pipeline.Nassc_ha Qroute.Nassc.default_config);
+    ]
+
+(* ---- whole-circuit routers are rejected up front ---- *)
+
+let test_streamable_guard () =
+  let coupling = Topology.Devices.linear 5 in
+  check "astar not streamable" false (Qroute.Pipeline.streamable Qroute.Pipeline.Astar_router);
+  check "hybrid not streamable" false
+    (Qroute.Pipeline.streamable (Qroute.Pipeline.Hybrid_router Qroute.Hybrid.default_config));
+  check "sabre streamable" true (Qroute.Pipeline.streamable Qroute.Pipeline.Sabre_router);
+  Alcotest.check_raises "astar raises Invalid_argument"
+    (Invalid_argument
+       "Pipeline.transpile_stream: router needs the whole circuit (streaming supports \
+        sabre/nassc/sabre-ha/nassc-ha)") (fun () ->
+      ignore
+        (Qroute.Pipeline.transpile_stream ~router:Qroute.Pipeline.Astar_router ~sink:ignore
+           coupling
+           (Source.of_circuit (random_circuit 3))))
+
+(* ---- chunked emission reassembles to the unchunked output ---- *)
+
+let test_chunking () =
+  let circuit = random_circuit 17 in
+  let coupling = Topology.Devices.grid 2 4 in
+  let big, rb = stream_route ~chunk:100_000 ~router:Qroute.Pipeline.Sabre_router coupling circuit in
+  let small, rs = stream_route ~chunk:5 ~router:Qroute.Pipeline.Sabre_router coupling circuit in
+  check "chunk=5 concatenation = one chunk" true (Circuit.instrs big = Circuit.instrs small);
+  checki "one chunk when chunk is huge" 1 rb.Qroute.Pipeline.sr_chunks;
+  check "many chunks when chunk=5" true (rs.Qroute.Pipeline.sr_chunks > 1);
+  checki "same depth accounting" rb.Qroute.Pipeline.sr_depth_out rs.Qroute.Pipeline.sr_depth_out
+
+(* ---- 127-qubit heavy-hex spot check: stream with a genuinely small
+   window, then certify the routed output symbolically ---- *)
+
+let test_verify_eagle_stream () =
+  let circuit = Qbench.Generators.qft 16 in
+  let coupling = Topology.Devices.eagle () in
+  checki "eagle is 127 qubits" 127 (Topology.Coupling.n_qubits coupling);
+  let streamed, sr =
+    stream_route ~window:64 ~router:(Qroute.Pipeline.Nassc_router Qroute.Nassc.default_config)
+      coupling circuit
+  in
+  check "window honoured" true (sr.Qroute.Pipeline.sr_peak_resident <= 64);
+  check "valid on the device" true (Qroute.Sabre.check_routed coupling streamed);
+  match
+    Qverify.verify_routed ~original:circuit ~routed:streamed
+      ~initial_layout:sr.Qroute.Pipeline.sr_initial_layout
+      ~final_layout:sr.Qroute.Pipeline.sr_final_layout ()
+  with
+  | Qverify.Equivalent _ -> ()
+  | v -> Alcotest.failf "127q streamed circuit did not certify: %s" (Qverify.to_json v)
+
+(* ---- lazy stream generators ---- *)
+
+let test_generators () =
+  let qft1 = Source.to_circuit (Qbench.Generators.qft_stream ~reps:1 8) in
+  check "qft_stream reps=1 = batch qft" true
+    (Circuit.instrs qft1 = Circuit.instrs (Qbench.Generators.qft 8));
+  let qft3 = Source.to_circuit (Qbench.Generators.qft_stream ~reps:3 8) in
+  checki "qft_stream reps=3 size" (3 * Circuit.size qft1) (Circuit.size qft3);
+  let qv () = Source.to_circuit (Qbench.Generators.qv_stream ~seed:7 ~depth:9 10) in
+  checki "qv_stream budget" (9 * 8 * 5) (Circuit.size (qv ()));
+  check "qv_stream deterministic" true (Circuit.instrs (qv ()) = Circuit.instrs (qv ()));
+  let rd () =
+    Source.to_circuit
+      (Qbench.Generators.random_density_stream ~seed:5 ~gates:500 ~density:0.4 12)
+  in
+  checki "random_density_stream exact budget" 500 (Circuit.size (rd ()));
+  check "random_density_stream deterministic" true
+    (Circuit.instrs (rd ()) = Circuit.instrs (rd ()));
+  (* the stream never materializes: pulling 10^5 gates touches no list *)
+  let s = Qbench.Generators.random_density_stream ~seed:5 ~gates:100_000 ~density:0.4 12 in
+  let n = ref 0 in
+  let rec drain () =
+    match Source.pull s with
+    | Some _ ->
+        incr n;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  checki "10^5-gate pull count" 100_000 !n
+
+(* ---- Nassc.Streaming: incremental finalize = batch finalize ---- *)
+
+let test_streaming_finalize () =
+  let mk gate qs tag = { Qroute.Engine.gate; op_qubits = qs; tag } in
+  let ops =
+    [
+      mk Gate.H [ 0 ] Qroute.Engine.Not_swap;
+      mk Gate.SWAP [ 0; 1 ] Qroute.Engine.Swap_plain;
+      mk (Gate.RZ 0.5) [ 1 ] Qroute.Engine.Not_swap;
+      mk Gate.SX [ 0 ] Qroute.Engine.Not_swap;
+      mk Gate.SWAP [ 0; 1 ] (Qroute.Engine.Swap_orient (1, 0));
+      mk Gate.CX [ 1; 2 ] Qroute.Engine.Not_swap;
+    ]
+  in
+  let copy () =
+    List.map (fun (o : Qroute.Engine.out_op) -> { o with Qroute.Engine.gate = o.gate }) ops
+  in
+  let batch = Qroute.Nassc.finalize (copy ()) in
+  let out = ref [] in
+  let t = Qroute.Nassc.Streaming.create ~emit:(fun i -> out := i :: !out) in
+  List.iter (Qroute.Nassc.Streaming.push t) (copy ());
+  Qroute.Nassc.Streaming.flush t;
+  checki "nothing left pending" 0 (Qroute.Nassc.Streaming.pending t);
+  check "incremental = batch finalize" true (List.rev !out = batch)
+
+let () =
+  Alcotest.run "stream"
+    [
+      ("equivalence", List.map QCheck_alcotest.to_alcotest qcheck_props);
+      ( "streaming",
+        [
+          Alcotest.test_case "noise-aware variants" `Quick test_ha_variants;
+          Alcotest.test_case "streamable guard" `Quick test_streamable_guard;
+          Alcotest.test_case "chunked emission" `Quick test_chunking;
+          Alcotest.test_case "127q verify spot-check" `Quick test_verify_eagle_stream;
+          Alcotest.test_case "lazy generators" `Quick test_generators;
+          Alcotest.test_case "incremental finalize" `Quick test_streaming_finalize;
+        ] );
+    ]

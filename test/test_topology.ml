@@ -95,9 +95,75 @@ let test_by_name () =
   checki "linear" 10 (Coupling.n_qubits (Devices.by_name "linear" 10));
   checki "grid side" 25 (Coupling.n_qubits (Devices.by_name "grid" 25));
   checki "ring" 8 (Coupling.n_qubits (Devices.by_name "ring" 8));
+  checki "eagle" 127 (Coupling.n_qubits (Devices.by_name "eagle" 0));
+  checki "osprey" 433 (Coupling.n_qubits (Devices.by_name "osprey" 0));
   check "unknown raises" true
     (try
        ignore (Devices.by_name "torus" 9);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- IBM heavy-hex lattices (distance-parameterized) ---------- *)
+
+let test_heavy_hex_ibm () =
+  (* the published qubit-count formula: n(d) = 10d^2 + 12d + 1 *)
+  List.iter
+    (fun d ->
+      let c = Devices.heavy_hex_ibm ~distance:d in
+      checki
+        (Printf.sprintf "d=%d qubit count" d)
+        ((10 * d * d) + (12 * d) + 1)
+        (Coupling.n_qubits c);
+      check (Printf.sprintf "d=%d connected" d) true (Coupling.is_connected_graph c);
+      let n = Coupling.n_qubits c in
+      let max_deg = List.init n (Coupling.degree c) |> List.fold_left max 0 in
+      check (Printf.sprintf "d=%d degree <= 3" d) true (max_deg <= 3))
+    [ 1; 2; 3; 4 ];
+  let eagle = Devices.eagle () in
+  checki "eagle qubits" 127 (Coupling.n_qubits eagle);
+  checki "eagle edges" 144 (List.length (Coupling.edges eagle));
+  let osprey = Devices.osprey () in
+  checki "osprey qubits" 433 (Coupling.n_qubits osprey);
+  checki "osprey edges" 504 (List.length (Coupling.edges osprey));
+  check "invalid distance raises" true
+    (try
+       ignore (Devices.heavy_hex_ibm ~distance:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- lazy distance rows ---------- *)
+
+let test_lazy_distance_rows () =
+  (* a freshly built coupling has no BFS rows; queries materialize exactly
+     the source rows they touch *)
+  let c = Devices.heavy_hex_ibm ~distance:3 in
+  checki "fresh coupling: no rows" 0 (Coupling.rows_materialized c);
+  let d01 = Coupling.distance c 0 1 in
+  check "distance sane" true (d01 >= 1);
+  checki "one query: one row" 1 (Coupling.rows_materialized c);
+  ignore (Coupling.distance c 0 100);
+  checki "same source reuses the row" 1 (Coupling.rows_materialized c);
+  ignore (Coupling.distance c 5 0);
+  checki "new source adds a row" 2 (Coupling.rows_materialized c);
+  (* lazy hops agree with the dense matrix everywhere on a small device *)
+  let small = Devices.grid 3 4 in
+  let dense = Distmat.hops small and lz = Distmat.hops_lazy small in
+  check "lazy matrix not dense" false (Distmat.is_dense lz);
+  check "dense matrix is dense" true (Distmat.is_dense dense);
+  let n = Coupling.n_qubits small in
+  let agree = ref true in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if Distmat.get dense a b <> Distmat.get lz a b then agree := false
+    done
+  done;
+  check "lazy = dense hop distances" true !agree;
+  checki "all rows materialized after the sweep" n (Distmat.rows_materialized lz);
+  check "raw_opt: dense exposes the flat array" true (Distmat.raw_opt dense <> None);
+  check "raw_opt: lazy has none" true (Distmat.raw_opt lz = None);
+  check "raw on lazy raises" true
+    (try
+       ignore (Distmat.raw lz);
        false
      with Invalid_argument _ -> true)
 
@@ -177,6 +243,8 @@ let () =
           Alcotest.test_case "shortest path" `Quick test_shortest_path_properties;
           Alcotest.test_case "distance properties" `Quick test_distance_symmetry_triangle;
           Alcotest.test_case "by name" `Quick test_by_name;
+          Alcotest.test_case "heavy-hex ibm" `Quick test_heavy_hex_ibm;
+          Alcotest.test_case "lazy distance rows" `Quick test_lazy_distance_rows;
         ] );
       ( "calibration",
         [
